@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the MII machinery: ResMII, the per-SCC MinDist
+//! RecMII (Huff's method, the one the paper adopts) versus elementary
+//! circuit enumeration (the Cydra 5 compiler's method), and HeightR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ims_core::{compute_mii, height_r, rec_mii, rec_mii_by_circuits, res_mii, Counters};
+use ims_deps::{build_problem, BuildOptions};
+use ims_loopgen::{generate_loop, SynthConfig};
+use ims_machine::cydra;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn problems() -> Vec<(usize, ims_ir::LoopBody)> {
+    [12usize, 40, 120]
+        .iter()
+        .map(|&n| {
+            let cfg = SynthConfig {
+                ops_target: n,
+                recurrences: vec![3, 2],
+                with_branch: true,
+            };
+            (n, generate_loop(&mut StdRng::seed_from_u64(n as u64), &cfg))
+        })
+        .collect()
+}
+
+fn bench_mii_bounds(c: &mut Criterion) {
+    let machine = cydra();
+    let mut group = c.benchmark_group("mii");
+    group.sample_size(40);
+    for (n, body) in problems() {
+        let problem = build_problem(&body, &machine, &BuildOptions::default());
+        group.bench_with_input(BenchmarkId::new("res_mii", n), &problem, |b, p| {
+            b.iter(|| black_box(res_mii(p, &mut Counters::new())))
+        });
+        group.bench_with_input(BenchmarkId::new("rec_mii_mindist", n), &problem, |b, p| {
+            b.iter(|| black_box(rec_mii(p, 1, &mut Counters::new())))
+        });
+        group.bench_with_input(BenchmarkId::new("rec_mii_circuits", n), &problem, |b, p| {
+            b.iter(|| black_box(rec_mii_by_circuits(p, 100_000)))
+        });
+        group.bench_with_input(BenchmarkId::new("compute_mii", n), &problem, |b, p| {
+            b.iter(|| black_box(compute_mii(p, &mut Counters::new())))
+        });
+        let ii = compute_mii(&problem, &mut Counters::new()).mii;
+        group.bench_with_input(BenchmarkId::new("height_r", n), &problem, |b, p| {
+            b.iter(|| black_box(height_r(p, ii, &mut Counters::new())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mii_bounds);
+criterion_main!(benches);

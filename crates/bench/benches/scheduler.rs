@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the scheduler itself: cost of iterative modulo
+//! scheduling as loop size grows (the computational-expense axis of §4.4),
+//! and the cost of the full front-end + scheduling pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ims_core::{modulo_schedule, SchedConfig};
+use ims_deps::{back_substitute, build_problem, BuildOptions};
+use ims_loopgen::{generate_loop, SynthConfig};
+use ims_machine::cydra;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_scheduling_by_size(c: &mut Criterion) {
+    let machine = cydra();
+    let mut group = c.benchmark_group("modulo_schedule");
+    group.sample_size(30);
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let cfg = SynthConfig {
+            ops_target: n,
+            recurrences: if n >= 16 { vec![3] } else { vec![] },
+            with_branch: true,
+        };
+        let body = generate_loop(&mut StdRng::seed_from_u64(n as u64), &cfg);
+        let body = back_substitute(&body, &machine);
+        let problem = build_problem(&body, &machine, &BuildOptions::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| {
+                black_box(
+                    modulo_schedule(black_box(p), &SchedConfig::with_budget_ratio(2.0))
+                        .expect("schedules"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget_ratios(c: &mut Criterion) {
+    let machine = cydra();
+    let cfg = SynthConfig {
+        ops_target: 48,
+        recurrences: vec![4],
+        with_branch: true,
+    };
+    let body = generate_loop(&mut StdRng::seed_from_u64(7), &cfg);
+    let body = back_substitute(&body, &machine);
+    let problem = build_problem(&body, &machine, &BuildOptions::default());
+    let mut group = c.benchmark_group("budget_ratio");
+    group.sample_size(30);
+    for &ratio in &[1.0f64, 2.0, 4.0, 6.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
+            b.iter(|| {
+                black_box(
+                    modulo_schedule(&problem, &SchedConfig::with_budget_ratio(ratio))
+                        .expect("schedules"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_front_end(c: &mut Criterion) {
+    let machine = cydra();
+    let cfg = SynthConfig {
+        ops_target: 48,
+        recurrences: vec![3],
+        with_branch: true,
+    };
+    let body = generate_loop(&mut StdRng::seed_from_u64(3), &cfg);
+    let mut group = c.benchmark_group("front_end");
+    group.sample_size(50);
+    group.bench_function("back_substitute", |b| {
+        b.iter(|| black_box(back_substitute(black_box(&body), &machine)))
+    });
+    group.bench_function("build_problem", |b| {
+        b.iter(|| {
+            black_box(build_problem(
+                black_box(&body),
+                &machine,
+                &BuildOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduling_by_size,
+    bench_budget_ratios,
+    bench_front_end
+);
+criterion_main!(benches);

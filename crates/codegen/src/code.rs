@@ -1,0 +1,168 @@
+//! Executable pipelined-code representations.
+//!
+//! Both lowerings express code as VLIW instructions ([`Inst`]): the set of
+//! operation instances issued on one cycle, with register operands already
+//! renamed. Register names are either **static** (a conventional register)
+//! or **rotating** (an offset into the rotating file; the physical register
+//! is `(offset + pass) mod size`, where `pass` advances every II — the
+//! rotating-register-base mechanism of the Cydra 5).
+
+use ims_ir::{LiveInValue, OpId};
+
+/// A renamed register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeReg {
+    /// A conventional register, by index.
+    Static(usize),
+    /// An offset into the rotating register file; resolved against the
+    /// current rotating register base at execution time.
+    Rotating(usize),
+}
+
+/// A renamed operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodeOperand {
+    /// A register.
+    Reg(CodeReg),
+    /// An integer immediate.
+    ImmInt(i64),
+    /// A floating-point immediate.
+    ImmFloat(f64),
+}
+
+/// One operation instance inside an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotOp {
+    /// The originating IR operation (for opcode, comparison kind, and
+    /// diagnostics).
+    pub op: OpId,
+    /// The operation's stage in the schedule: `⌊issue_time / II⌋`. Used by
+    /// kernel-only code to decide which loop iteration an instance belongs
+    /// to (`iteration = pass − stage`).
+    pub stage: u32,
+    /// Renamed destination.
+    pub dest: Option<CodeReg>,
+    /// Renamed sources.
+    pub srcs: Vec<CodeOperand>,
+    /// Renamed guarding predicate.
+    pub pred: Option<CodeReg>,
+}
+
+/// A VLIW instruction: every operation instance issued on one cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Inst {
+    /// The instances issued this cycle.
+    pub ops: Vec<SlotOp>,
+}
+
+/// A register seed: the value a register must hold before the loop starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Seed {
+    /// The register to preload.
+    pub reg: CodeReg,
+    /// Its initial value (resolved against the memory layout at simulation
+    /// time).
+    pub value: LiveInValue,
+}
+
+/// Modulo-variable-expanded code for machines without rotating registers:
+/// flat prologue, a kernel unrolled [`MveCode::unroll`] times, and a flat
+/// coda (the epilogue plus any steady-state cycles that did not fill a whole
+/// kernel repetition for this trip count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MveCode {
+    /// The initiation interval.
+    pub ii: i64,
+    /// Kernel stages (`⌈schedule length / II⌉`).
+    pub stage_count: u32,
+    /// The kernel unroll factor `K` (Lam's `kmax`: the largest per-value
+    /// `⌈lifetime / II⌉`).
+    pub unroll: u32,
+    /// Flat start-up code, one instruction per cycle.
+    pub prologue: Vec<Inst>,
+    /// The unrolled kernel: `unroll · II` instructions, executed
+    /// [`MveCode::kernel_reps`] times.
+    pub kernel: Vec<Inst>,
+    /// How many times the kernel body executes for this trip count.
+    pub kernel_reps: u64,
+    /// Flat drain code, one instruction per cycle.
+    pub coda: Vec<Inst>,
+    /// Total static registers (all names created by the expansion).
+    pub num_static_regs: usize,
+    /// Registers that must be preloaded before the first instruction.
+    pub seeds: Vec<Seed>,
+}
+
+impl MveCode {
+    /// Total cycles this code executes for its trip count.
+    pub fn total_cycles(&self) -> u64 {
+        self.prologue.len() as u64
+            + self.kernel_reps * self.kernel.len() as u64
+            + self.coda.len() as u64
+    }
+}
+
+/// Kernel-only code for machines with rotating register files and
+/// predicated execution: just `II` instructions, executed
+/// `trip_count + stage_count − 1` times, with each instance staged by
+/// iteration index (the code schema of Rau/Schlansker/Tirumalai).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotatingCode {
+    /// The initiation interval.
+    pub ii: i64,
+    /// Kernel stages.
+    pub stage_count: u32,
+    /// The kernel: exactly `II` instructions — no unrolling.
+    pub kernel: Vec<Inst>,
+    /// Number of passes over the kernel: `trip_count + stage_count − 1`.
+    pub passes: u64,
+    /// Size of the rotating register file.
+    pub rotating_size: usize,
+    /// Number of static registers (loop invariants).
+    pub num_static_regs: usize,
+    /// Registers preloaded before the first pass (rotating seeds use
+    /// *physical* indices, valid at pass 0).
+    pub seeds: Vec<Seed>,
+}
+
+impl RotatingCode {
+    /// Total cycles this code executes for its trip count.
+    pub fn total_cycles(&self) -> u64 {
+        self.passes * self.kernel.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mve_cycle_count() {
+        let code = MveCode {
+            ii: 2,
+            stage_count: 3,
+            unroll: 2,
+            prologue: vec![Inst::default(); 4],
+            kernel: vec![Inst::default(); 4],
+            kernel_reps: 5,
+            coda: vec![Inst::default(); 6],
+            num_static_regs: 0,
+            seeds: vec![],
+        };
+        assert_eq!(code.total_cycles(), 4 + 20 + 6);
+    }
+
+    #[test]
+    fn rotating_cycle_count() {
+        let code = RotatingCode {
+            ii: 3,
+            stage_count: 4,
+            kernel: vec![Inst::default(); 3],
+            passes: 10,
+            rotating_size: 8,
+            num_static_regs: 1,
+            seeds: vec![],
+        };
+        assert_eq!(code.total_cycles(), 30);
+    }
+}

@@ -1,0 +1,195 @@
+//! The modulo reservation table (§3.1).
+//!
+//! *"If scheduling an operation at some particular time involves the use of
+//! resource R at time T, then location ((T mod II), R) of the table is used
+//! to record it. Consequently, the schedule reservation table need only be
+//! as long as the II."*
+
+use ims_graph::NodeId;
+use ims_machine::ReservationTable;
+
+/// A modulo reservation table: `II × num_resources` slots, each holding the
+/// node currently reserving it (if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mrt {
+    ii: i64,
+    nres: usize,
+    slots: Vec<Option<NodeId>>,
+}
+
+impl Mrt {
+    /// Creates an empty table for the given II and resource count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii < 1`.
+    pub fn new(ii: i64, num_resources: usize) -> Self {
+        assert!(ii >= 1, "II must be at least 1");
+        Mrt {
+            ii,
+            nres: num_resources,
+            slots: vec![None; (ii as usize) * num_resources],
+        }
+    }
+
+    /// The II this table was sized for.
+    pub fn ii(&self) -> i64 {
+        self.ii
+    }
+
+    fn slot(&self, time: i64, res: usize) -> usize {
+        let row = time.rem_euclid(self.ii) as usize;
+        row * self.nres + res
+    }
+
+    /// Whether issuing an operation with reservation `table` at `time`
+    /// collides with any current reservation.
+    pub fn conflicts(&self, table: &ReservationTable, time: i64) -> bool {
+        table
+            .uses()
+            .iter()
+            .any(|&(r, off)| self.slots[self.slot(time + off as i64, r.index())].is_some())
+    }
+
+    /// The distinct nodes whose reservations collide with `table` at
+    /// `time`.
+    pub fn conflicting_nodes(&self, table: &ReservationTable, time: i64) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = table
+            .uses()
+            .iter()
+            .filter_map(|&(r, off)| self.slots[self.slot(time + off as i64, r.index())])
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Reserves `table` at `time` for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any required slot is already reserved; check
+    /// [`Mrt::conflicts`] first.
+    pub fn place(&mut self, node: NodeId, table: &ReservationTable, time: i64) {
+        for &(r, off) in table.uses() {
+            let s = self.slot(time + off as i64, r.index());
+            assert!(
+                self.slots[s].is_none(),
+                "MRT slot already reserved while placing {node}"
+            );
+            self.slots[s] = Some(node);
+        }
+    }
+
+    /// Releases the reservation `table` made at `time` by `node`
+    /// (the exact inverse of [`Mrt::place`]; §2.1: *"When backtracking, an
+    /// operation may be 'unscheduled' by reversing this process"*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot does not currently belong to `node`.
+    pub fn remove(&mut self, node: NodeId, table: &ReservationTable, time: i64) {
+        for &(r, off) in table.uses() {
+            let s = self.slot(time + off as i64, r.index());
+            assert_eq!(
+                self.slots[s],
+                Some(node),
+                "MRT slot not owned by {node} during unschedule"
+            );
+            self.slots[s] = None;
+        }
+    }
+
+    /// The node reserving `(time mod II, resource)`, if any. Used by the
+    /// validator and display code.
+    pub fn occupant(&self, time: i64, res: usize) -> Option<NodeId> {
+        self.slots[self.slot(time, res)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ims_machine::ResourceId;
+
+    fn table(uses: &[(u32, u32)]) -> ReservationTable {
+        ReservationTable::new(uses.iter().map(|&(r, t)| (ResourceId(r), t)).collect())
+    }
+
+    #[test]
+    fn modulo_wraparound_conflicts() {
+        let mut mrt = Mrt::new(3, 2);
+        let t = table(&[(0, 0)]);
+        mrt.place(NodeId(1), &t, 1);
+        // Time 4 ≡ 1 (mod 3): conflicts.
+        assert!(mrt.conflicts(&t, 4));
+        // The paper: "a conflict at time T implies conflicts at all times
+        // T + k*II".
+        assert!(mrt.conflicts(&t, 7));
+        assert!(!mrt.conflicts(&t, 2));
+        assert_eq!(mrt.occupant(4, 0), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn multi_use_tables_reserve_every_slot() {
+        let mut mrt = Mrt::new(4, 2);
+        let complex = table(&[(0, 0), (1, 2)]);
+        mrt.place(NodeId(5), &complex, 1);
+        assert_eq!(mrt.occupant(1, 0), Some(NodeId(5)));
+        assert_eq!(mrt.occupant(3, 1), Some(NodeId(5)));
+        // A simple table on resource 1 at a time congruent to 3 conflicts.
+        let simple = table(&[(1, 0)]);
+        assert!(mrt.conflicts(&simple, 3));
+        assert!(mrt.conflicts(&simple, 7));
+        assert!(!mrt.conflicts(&simple, 0));
+    }
+
+    #[test]
+    fn conflicting_nodes_deduplicates() {
+        let mut mrt = Mrt::new(2, 2);
+        let wide = table(&[(0, 0), (1, 0)]);
+        mrt.place(NodeId(3), &wide, 0);
+        let probe = table(&[(0, 0), (1, 0)]);
+        assert_eq!(mrt.conflicting_nodes(&probe, 2), vec![NodeId(3)]);
+        assert!(mrt.conflicting_nodes(&probe, 1).is_empty());
+    }
+
+    #[test]
+    fn remove_restores_slots() {
+        let mut mrt = Mrt::new(3, 1);
+        let t = table(&[(0, 0), (0, 1)]);
+        mrt.place(NodeId(2), &t, 0);
+        assert!(mrt.conflicts(&t, 0));
+        mrt.remove(NodeId(2), &t, 0);
+        assert!(!mrt.conflicts(&t, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already reserved")]
+    fn double_place_panics() {
+        let mut mrt = Mrt::new(2, 1);
+        let t = table(&[(0, 0)]);
+        mrt.place(NodeId(1), &t, 0);
+        mrt.place(NodeId(2), &t, 2); // 2 ≡ 0 (mod 2)
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn remove_wrong_owner_panics() {
+        let mut mrt = Mrt::new(2, 1);
+        let t = table(&[(0, 0)]);
+        mrt.place(NodeId(1), &t, 0);
+        mrt.remove(NodeId(2), &t, 0);
+    }
+
+    #[test]
+    fn negative_times_wrap_correctly() {
+        // rem_euclid keeps slots non-negative even for negative probe times
+        // (delays can be negative, so probes may go below zero).
+        let mut mrt = Mrt::new(3, 1);
+        let t = table(&[(0, 0)]);
+        mrt.place(NodeId(1), &t, 0);
+        assert!(mrt.conflicts(&t, -3));
+        assert!(!mrt.conflicts(&t, -2));
+    }
+}

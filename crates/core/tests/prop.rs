@@ -1,0 +1,109 @@
+//! Property tests for the core scheduler structures.
+
+use ims_core::{
+    compute_mii, iterative_schedule, modulo_schedule, validate_schedule, Counters, Mrt,
+    ProblemBuilder, SchedConfig,
+};
+use ims_graph::{DepKind, NodeId};
+use ims_ir::{OpId, Opcode};
+use ims_machine::{minimal, wide, ReservationTable, ResourceId};
+use proptest::prelude::*;
+
+/// Strategy for random acyclic-plus-backedge problems on a given machine.
+fn problem_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize, u32)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 0u32..3), 0..2 * n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_problems_schedule_and_validate((n, edges) in problem_edges()) {
+        let machine = wide(3);
+        let mut pb = ProblemBuilder::new(&machine);
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| pb.add_op(Opcode::Add, OpId(i as u32)))
+            .collect();
+        for (a, b, dist) in edges {
+            // Keep zero-distance edges forward-only so the same-iteration
+            // subgraph stays acyclic (a well-formed dependence graph).
+            let (from, to, dist) = if dist == 0 && a >= b {
+                (b, a, if a == b { 1 } else { 0 })
+            } else {
+                (a, b, dist)
+            };
+            pb.add_dep(nodes[from], nodes[to], 2, dist, DepKind::Flow, false);
+        }
+        let p = pb.finish();
+        let out = modulo_schedule(&p, &SchedConfig::default()).expect("schedules");
+        prop_assert!(validate_schedule(&p, &out.schedule).is_ok());
+        prop_assert!(out.schedule.ii >= out.mii.mii);
+        prop_assert!(out.schedule.length >= 0);
+    }
+
+    #[test]
+    fn mii_is_a_true_lower_bound((n, edges) in problem_edges()) {
+        // Schedule at II = MII - 1 must always fail (the bound is sound).
+        let machine = minimal();
+        let mut pb = ProblemBuilder::new(&machine);
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| pb.add_op(Opcode::Add, OpId(i as u32)))
+            .collect();
+        for (a, b, dist) in edges {
+            let (from, to, dist) = if dist == 0 && a >= b {
+                (b, a, if a == b { 1 } else { 0 })
+            } else {
+                (a, b, dist)
+            };
+            pb.add_dep(nodes[from], nodes[to], 1, dist, DepKind::Flow, false);
+        }
+        let p = pb.finish();
+        let mii = compute_mii(&p, &mut Counters::new());
+        // Only probe below the MII when recurrences still permit it:
+        // HeightR (correctly) diverges for IIs below the RecMII.
+        let pure_rec = ims_core::rec_mii(&p, 1, &mut Counters::new());
+        if mii.mii > 1 && mii.mii - 1 >= pure_rec {
+            let (result, _) = iterative_schedule(&p, mii.mii - 1, 10_000, &mut Counters::new());
+            if let Some(s) = result {
+                // If something was produced below the MII it must be invalid
+                // ... which iterative_schedule never produces: placements
+                // honour the MRT and displacement; but recurrences can make
+                // it spin forever instead. Either way a *valid* schedule
+                // below MII is impossible.
+                prop_assert!(
+                    validate_schedule(&p, &s).is_err(),
+                    "valid schedule below the MII"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mrt_place_remove_roundtrip(ops in proptest::collection::vec((0u32..4, 0i64..40), 1..30)) {
+        let ii = 7;
+        let mut mrt = Mrt::new(ii, 4);
+        let table = |r: u32| ReservationTable::new(vec![(ResourceId(r), 0), (ResourceId(r), 2)]);
+        let mut placed: Vec<(NodeId, u32, i64)> = Vec::new();
+        for (i, (r, t)) in ops.into_iter().enumerate() {
+            let tab = table(r);
+            if !mrt.conflicts(&tab, t) {
+                mrt.place(NodeId(i as u32), &tab, t);
+                placed.push((NodeId(i as u32), r, t));
+            }
+        }
+        // Remove everything; the table must end empty.
+        for (node, r, t) in placed {
+            mrt.remove(node, &table(r), t);
+        }
+        for t in 0..ii {
+            for r in 0..4 {
+                prop_assert!(mrt.occupant(t, r).is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The Table 1 delay formulas.
+
+use ims_graph::DepKind;
+
+/// Which column of the paper's Table 1 to use when turning a dependence
+/// into a scheduling delay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum DelayModel {
+    /// *"For a classical VLIW processor with non-unit architectural
+    /// latencies, the delay for an anti-dependence or output dependence can
+    /// be negative if the latency of the successor is sufficiently large."*
+    /// Flow: `L(pred)`; anti: `1 − L(succ)`; output: `1 + L(pred) − L(succ)`.
+    /// This is the model the paper's Cydra 5 experiments use, and the
+    /// default.
+    #[default]
+    Vliw,
+    /// The conservative column, *"more appropriate for superscalar
+    /// processors"*, which only assumes the successor's latency is ≥ 1.
+    /// Flow: `L(pred)`; anti: `0`; output: `L(pred)`.
+    Conservative,
+}
+
+/// Computes the delay of a dependence edge per Table 1.
+///
+/// `lat_pred` and `lat_succ` are the execution latencies of the predecessor
+/// and successor operations. Control dependences (predicate inputs) behave
+/// like flow dependences: the consumer needs the produced predicate value.
+pub fn delay(kind: DepKind, lat_pred: i64, lat_succ: i64, model: DelayModel) -> i64 {
+    match (model, kind) {
+        (_, DepKind::Flow) | (_, DepKind::Control) => lat_pred,
+        (DelayModel::Vliw, DepKind::Anti) => 1 - lat_succ,
+        (DelayModel::Vliw, DepKind::Output) => 1 + lat_pred - lat_succ,
+        (DelayModel::Conservative, DepKind::Anti) => 0,
+        (DelayModel::Conservative, DepKind::Output) => lat_pred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_is_predecessor_latency_in_both_models() {
+        assert_eq!(delay(DepKind::Flow, 20, 4, DelayModel::Vliw), 20);
+        assert_eq!(delay(DepKind::Flow, 20, 4, DelayModel::Conservative), 20);
+        assert_eq!(delay(DepKind::Control, 1, 4, DelayModel::Vliw), 1);
+    }
+
+    #[test]
+    fn vliw_anti_can_be_negative() {
+        // 1 - L(succ): a 20-cycle successor gives -19.
+        assert_eq!(delay(DepKind::Anti, 1, 20, DelayModel::Vliw), -19);
+        assert_eq!(delay(DepKind::Anti, 1, 1, DelayModel::Vliw), 0);
+    }
+
+    #[test]
+    fn vliw_output_balances_latencies() {
+        assert_eq!(delay(DepKind::Output, 4, 4, DelayModel::Vliw), 1);
+        assert_eq!(delay(DepKind::Output, 1, 20, DelayModel::Vliw), -18);
+        assert_eq!(delay(DepKind::Output, 20, 1, DelayModel::Vliw), 20);
+    }
+
+    #[test]
+    fn conservative_is_never_negative_for_unit_latency_preds() {
+        assert_eq!(delay(DepKind::Anti, 5, 20, DelayModel::Conservative), 0);
+        assert_eq!(delay(DepKind::Output, 5, 20, DelayModel::Conservative), 5);
+    }
+
+    #[test]
+    fn conservative_dominates_vliw() {
+        // Conservative delays are always >= VLIW delays (Table 1's intent).
+        for (lp, ls) in [(1, 1), (4, 20), (20, 4), (26, 1)] {
+            for kind in [DepKind::Flow, DepKind::Anti, DepKind::Output] {
+                assert!(
+                    delay(kind, lp, ls, DelayModel::Conservative)
+                        >= delay(kind, lp, ls, DelayModel::Vliw),
+                    "{kind:?} lp={lp} ls={ls}"
+                );
+            }
+        }
+    }
+}

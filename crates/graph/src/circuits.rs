@@ -1,0 +1,211 @@
+//! Elementary-circuit enumeration (Tiernan's algorithm).
+//!
+//! §2.2 describes two ways to compute the RecMII. The first — used by the
+//! Cydra 5 compiler — is to *"enumerate all the elementary circuits in the
+//! graph [Tiernan 40, Mateti/Deo 26], calculate the smallest value of II
+//! that satisfies the … inequality for that circuit, and use the largest
+//! such value across all circuits"*. This module implements that method; the
+//! reproduction uses it as a cross-check and cost baseline for the MinDist
+//! method (Huff's minimal cost-to-time-ratio formulation), which is the one
+//! the scheduler uses.
+
+use crate::graph::{DepGraph, NodeId};
+
+/// An elementary circuit: *"a path through the graph which starts and ends
+/// at the same vertex and which does not visit any vertex on the circuit
+/// more than once"* (§2.2, footnote).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// The vertices on the circuit, starting from its smallest node id.
+    pub nodes: Vec<NodeId>,
+    /// Sum of edge delays around the circuit.
+    pub delay: i64,
+    /// Sum of edge distances around the circuit (always ≥ 1 in a legal
+    /// dependence graph — a zero-distance cycle would be an impossible
+    /// same-iteration ordering cycle).
+    pub distance: u32,
+}
+
+impl Circuit {
+    /// The smallest II satisfying `delay − II·distance ≤ 0` for this
+    /// circuit: `⌈delay / distance⌉` (at least zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is zero.
+    pub fn min_ii(&self) -> i64 {
+        assert!(self.distance > 0, "zero-distance circuit has no legal II");
+        let d = self.distance as i64;
+        // Ceiling division for possibly-negative delay.
+        if self.delay <= 0 {
+            0
+        } else {
+            (self.delay + d - 1) / d
+        }
+    }
+}
+
+/// Enumerates the elementary circuits of `graph`, visiting each circuit
+/// once. Enumeration stops after `max_circuits` circuits (the guard the
+/// paper's discussion of exponential circuit counts motivates); the bool in
+/// the return value is `false` when enumeration was truncated.
+///
+/// For every pair of parallel edges the heaviest constraint matters, so for
+/// RecMII purposes each circuit is reported with, per hop, the **maximum**
+/// `delay − II·distance` edge… which depends on II. To stay II-independent
+/// this function instead enumerates circuits over *distinct edge choices*:
+/// parallel edges produce distinct circuits.
+pub fn elementary_circuits(graph: &DepGraph, max_circuits: usize) -> (Vec<Circuit>, bool) {
+    let n = graph.num_nodes();
+    let mut out = Vec::new();
+    let mut complete = true;
+
+    // Tiernan-style search: for each root s (in increasing id order),
+    // enumerate elementary paths using only vertices with id ≥ s, and record
+    // a circuit whenever an edge returns to s.
+    'roots: for s in 0..n as u32 {
+        let root = NodeId(s);
+        // Path state: stack of (node, delay-so-far, distance-so-far) plus an
+        // explicit edge-iterator position per frame.
+        let mut on_path = vec![false; n];
+        let mut path: Vec<NodeId> = vec![root];
+        on_path[root.index()] = true;
+        // Frame: (node, index into that node's successor edge list).
+        let mut frames: Vec<(NodeId, usize)> = vec![(root, 0)];
+        let mut delay_stack: Vec<i64> = vec![0];
+        let mut dist_stack: Vec<u32> = vec![0];
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let succ: Vec<_> = graph.succs(v).cloned().collect();
+            if *pos < succ.len() {
+                let e = succ[*pos];
+                *pos += 1;
+                if e.to.0 < s {
+                    continue; // Only vertices ≥ root participate.
+                }
+                let cur_delay = *delay_stack.last().expect("stacks in lockstep");
+                let cur_dist = *dist_stack.last().expect("stacks in lockstep");
+                if e.to == root {
+                    out.push(Circuit {
+                        nodes: path.clone(),
+                        delay: cur_delay + e.delay,
+                        distance: cur_dist + e.distance,
+                    });
+                    if out.len() >= max_circuits {
+                        complete = false;
+                        break 'roots;
+                    }
+                } else if !on_path[e.to.index()] {
+                    on_path[e.to.index()] = true;
+                    path.push(e.to);
+                    frames.push((e.to, 0));
+                    delay_stack.push(cur_delay + e.delay);
+                    dist_stack.push(cur_dist + e.distance);
+                }
+            } else {
+                frames.pop();
+                delay_stack.pop();
+                dist_stack.pop();
+                let done = path.pop().expect("path tracks frames");
+                on_path[done.index()] = false;
+            }
+        }
+    }
+
+    (out, complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepKind;
+
+    #[test]
+    fn self_loop_is_a_circuit() {
+        let mut g = DepGraph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0), 3, 1, DepKind::Flow, false);
+        let (cs, complete) = elementary_circuits(&g, 100);
+        assert!(complete);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].delay, 3);
+        assert_eq!(cs[0].distance, 1);
+        assert_eq!(cs[0].min_ii(), 3);
+    }
+
+    #[test]
+    fn two_cycle() {
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 4, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(0), 3, 2, DepKind::Flow, false);
+        let (cs, _) = elementary_circuits(&g, 100);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].delay, 7);
+        assert_eq!(cs[0].distance, 2);
+        assert_eq!(cs[0].min_ii(), 4); // ceil(7/2)
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_circuits() {
+        let mut g = DepGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(2), 1, 0, DepKind::Flow, false);
+        let (cs, complete) = elementary_circuits(&g, 100);
+        assert!(complete);
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn nested_cycles_all_found() {
+        // 0 -> 1 -> 0 and 0 -> 1 -> 2 -> 0.
+        let mut g = DepGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(0), 1, 1, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(2), 1, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(2), NodeId(0), 1, 1, DepKind::Flow, false);
+        let (cs, _) = elementary_circuits(&g, 100);
+        assert_eq!(cs.len(), 2);
+        let mut lens: Vec<usize> = cs.iter().map(|c| c.nodes.len()).collect();
+        lens.sort();
+        assert_eq!(lens, vec![2, 3]);
+    }
+
+    #[test]
+    fn parallel_edges_produce_distinct_circuits() {
+        let mut g = DepGraph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0), 3, 1, DepKind::Flow, false);
+        g.add_edge(NodeId(0), NodeId(0), 5, 1, DepKind::Output, false);
+        let (cs, _) = elementary_circuits(&g, 100);
+        assert_eq!(cs.len(), 2);
+        let max_ii = cs.iter().map(Circuit::min_ii).max().unwrap();
+        assert_eq!(max_ii, 5);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        // A complete digraph on 5 vertices has many circuits.
+        let mut g = DepGraph::with_nodes(5);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    g.add_edge(NodeId(i), NodeId(j), 1, 1, DepKind::Flow, false);
+                }
+            }
+        }
+        let (cs, complete) = elementary_circuits(&g, 3);
+        assert_eq!(cs.len(), 3);
+        assert!(!complete);
+        let (all, complete) = elementary_circuits(&g, 10_000);
+        assert!(complete);
+        // Known circuit count for K5 (directed): sum over k=2..5 of
+        // C(5,k) * (k-1)! = 10*1 + 10*2 + 5*6 + 1*24 = 84.
+        assert_eq!(all.len(), 84);
+    }
+
+    #[test]
+    fn negative_delay_circuit_min_ii_is_zero() {
+        let mut g = DepGraph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0), -2, 1, DepKind::Anti, false);
+        let (cs, _) = elementary_circuits(&g, 10);
+        assert_eq!(cs[0].min_ii(), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The MinDist matrix (minimal cost-to-time-ratio cycle machinery).
+//!
+//! §2.2: *"The algorithm ComputeMinDist computes, for a given II, the
+//! MinDist matrix whose [i, j] entry specifies the minimum permissible
+//! interval between the time at which operation i is scheduled and the time
+//! at which operation j, in the same iteration, is scheduled."* An entry is
+//! `−∞` when no path constrains the pair. A positive diagonal entry means
+//! the II is infeasible with respect to recurrences.
+//!
+//! The computation is a max-plus Floyd–Warshall over edge weights
+//! `delay − II·distance`, restricted to an arbitrary node subset so it can
+//! be run one SCC at a time as the paper recommends.
+
+use crate::graph::{DepGraph, NodeId};
+
+/// Sentinel for "no path": far enough below zero that adding two of them
+/// cannot overflow an `i64`.
+pub const NEG_INF: i64 = i64::MIN / 4;
+
+/// The MinDist matrix over a node subset, for a specific candidate II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinDist {
+    ii: i64,
+    nodes: Vec<NodeId>,
+    /// Position of each graph node inside `nodes`, or `usize::MAX`.
+    position: Vec<usize>,
+    /// Row-major `nodes.len() × nodes.len()` matrix.
+    d: Vec<i64>,
+}
+
+impl MinDist {
+    /// The II this matrix was computed for.
+    pub fn ii(&self) -> i64 {
+        self.ii
+    }
+
+    /// The node subset the matrix covers, in row order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `MinDist[i, j]` by graph node id: the minimum permissible interval
+    /// from `i`'s issue to `j`'s issue within one iteration, or [`NEG_INF`]
+    /// if unconstrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not part of the covered subset.
+    pub fn get(&self, i: NodeId, j: NodeId) -> i64 {
+        let pi = self.position[i.index()];
+        let pj = self.position[j.index()];
+        assert!(
+            pi != usize::MAX && pj != usize::MAX,
+            "node not covered by this MinDist"
+        );
+        self.d[pi * self.nodes.len() + pj]
+    }
+
+    /// The largest diagonal entry, or [`NEG_INF`] for an empty subset.
+    pub fn max_diagonal(&self) -> i64 {
+        let n = self.nodes.len();
+        (0..n).map(|i| self.d[i * n + i]).max().unwrap_or(NEG_INF)
+    }
+
+    /// Whether the candidate II satisfies every recurrence in the subset:
+    /// no positive diagonal entry.
+    pub fn feasible(&self) -> bool {
+        self.max_diagonal() <= 0
+    }
+
+    /// Whether some recurrence is *critical* at this II: the largest
+    /// diagonal entry is exactly zero, i.e. *"at least one of the diagonal
+    /// entries should be equal to 0"* at the RecMII.
+    pub fn tight(&self) -> bool {
+        self.max_diagonal() == 0
+    }
+}
+
+/// Computes the MinDist matrix for `nodes` (any subset of `graph`'s nodes,
+/// typically one SCC or the whole graph) at candidate initiation interval
+/// `ii`.
+///
+/// Edges with an endpoint outside `nodes` are ignored. `work` is
+/// incremented once per innermost-loop execution of the Floyd–Warshall
+/// relaxation — the quantity the paper's Table 4 fits against N (the
+/// *"expected number of times the innermost loop of ComputeMinDist is
+/// executed"*).
+///
+/// # Panics
+///
+/// Panics if `ii < 1` or if `nodes` contains duplicates.
+pub fn compute_min_dist(graph: &DepGraph, nodes: &[NodeId], ii: i64, work: &mut u64) -> MinDist {
+    assert!(ii >= 1, "candidate II must be at least 1");
+    let n = nodes.len();
+    let mut position = vec![usize::MAX; graph.num_nodes()];
+    for (p, node) in nodes.iter().enumerate() {
+        assert!(
+            position[node.index()] == usize::MAX,
+            "duplicate node in MinDist subset"
+        );
+        position[node.index()] = p;
+    }
+
+    let mut d = vec![NEG_INF; n * n];
+    // Initialize from edges internal to the subset:
+    // MinDist[i, j] ≥ delay(e) − II·distance(e).
+    for (pi, &node) in nodes.iter().enumerate() {
+        for e in graph.succs(node) {
+            let pj = position[e.to.index()];
+            if pj == usize::MAX {
+                continue;
+            }
+            let w = e.delay - ii * e.distance as i64;
+            let cell = &mut d[pi * n + pj];
+            if w > *cell {
+                *cell = w;
+            }
+        }
+    }
+
+    // Max-plus Floyd–Warshall.
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i * n + k];
+            if dik == NEG_INF {
+                continue;
+            }
+            for j in 0..n {
+                *work += 1;
+                let dkj = d[k * n + j];
+                if dkj == NEG_INF {
+                    continue;
+                }
+                let cand = dik + dkj;
+                let cell = &mut d[i * n + j];
+                if cand > *cell {
+                    *cell = cand;
+                }
+            }
+        }
+    }
+
+    MinDist {
+        ii,
+        nodes: nodes.to_vec(),
+        position,
+        d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepKind;
+
+    fn chain3() -> (DepGraph, Vec<NodeId>) {
+        let mut g = DepGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 2, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(2), 3, 0, DepKind::Flow, false);
+        (g, vec![NodeId(0), NodeId(1), NodeId(2)])
+    }
+
+    #[test]
+    fn paths_accumulate_delay() {
+        let (g, nodes) = chain3();
+        let mut w = 0;
+        let md = compute_min_dist(&g, &nodes, 1, &mut w);
+        assert_eq!(md.get(NodeId(0), NodeId(1)), 2);
+        assert_eq!(md.get(NodeId(0), NodeId(2)), 5);
+        assert_eq!(md.get(NodeId(2), NodeId(0)), NEG_INF);
+        assert!(md.feasible());
+        assert!(w > 0);
+    }
+
+    #[test]
+    fn distance_subtracts_ii() {
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 10, 2, DepKind::Flow, false);
+        let nodes = [NodeId(0), NodeId(1)];
+        let mut w = 0;
+        let md = compute_min_dist(&g, &nodes, 3, &mut w);
+        assert_eq!(md.get(NodeId(0), NodeId(1)), 10 - 2 * 3);
+    }
+
+    #[test]
+    fn recurrence_feasibility_threshold() {
+        // Cycle delay 7, distance 2 => RecMII = ceil(7/2) = 4.
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 4, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(0), 3, 2, DepKind::Flow, false);
+        let nodes = [NodeId(0), NodeId(1)];
+        let mut w = 0;
+        assert!(!compute_min_dist(&g, &nodes, 3, &mut w).feasible());
+        let at4 = compute_min_dist(&g, &nodes, 4, &mut w);
+        assert!(at4.feasible());
+        // Slack exists at 4 (7 - 8 = -1 < 0), so it is not tight.
+        assert_eq!(at4.max_diagonal(), -1);
+        assert!(!at4.tight());
+    }
+
+    #[test]
+    fn tight_at_exact_recmii() {
+        // Cycle delay 6, distance 2 => RecMII = 3 exactly; diagonal hits 0.
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 3, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(0), 3, 2, DepKind::Flow, false);
+        let nodes = [NodeId(0), NodeId(1)];
+        let mut w = 0;
+        let md = compute_min_dist(&g, &nodes, 3, &mut w);
+        assert!(md.feasible());
+        assert!(md.tight());
+    }
+
+    #[test]
+    fn subset_ignores_external_edges() {
+        let (g, _) = chain3();
+        let mut w = 0;
+        let md = compute_min_dist(&g, &[NodeId(0), NodeId(1)], 1, &mut w);
+        assert_eq!(md.get(NodeId(0), NodeId(1)), 2);
+        // Node 2 is outside; nothing blows up and positions are respected.
+        assert_eq!(md.nodes().len(), 2);
+    }
+
+    #[test]
+    fn self_edge_diagonal() {
+        let mut g = DepGraph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0), 3, 1, DepKind::Flow, false);
+        let mut w = 0;
+        let md = compute_min_dist(&g, &[NodeId(0)], 2, &mut w);
+        // At II=2 the loop gain is +1 per traversal; the relaxation may
+        // compose it with itself, so only positivity is guaranteed.
+        assert!(md.get(NodeId(0), NodeId(0)) > 0);
+        assert!(!md.feasible());
+        let md = compute_min_dist(&g, &[NodeId(0)], 3, &mut w);
+        assert!(md.feasible() && md.tight());
+    }
+
+    #[test]
+    fn parallel_edges_take_max_weight() {
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(0), NodeId(1), 5, 0, DepKind::Output, false);
+        let mut w = 0;
+        let md = compute_min_dist(&g, &[NodeId(0), NodeId(1)], 1, &mut w);
+        assert_eq!(md.get(NodeId(0), NodeId(1)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ii_panics() {
+        let g = DepGraph::with_nodes(1);
+        let mut w = 0;
+        let _ = compute_min_dist(&g, &[NodeId(0)], 0, &mut w);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_nodes_panic() {
+        let g = DepGraph::with_nodes(1);
+        let mut w = 0;
+        let _ = compute_min_dist(&g, &[NodeId(0), NodeId(0)], 1, &mut w);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn uncovered_lookup_panics() {
+        let g = DepGraph::with_nodes(2);
+        let mut w = 0;
+        let md = compute_min_dist(&g, &[NodeId(0)], 1, &mut w);
+        let _ = md.get(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn negative_delays_supported() {
+        // Anti-dependence delays can be negative (Table 1).
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), -3, 0, DepKind::Anti, false);
+        let mut w = 0;
+        let md = compute_min_dist(&g, &[NodeId(0), NodeId(1)], 1, &mut w);
+        assert_eq!(md.get(NodeId(0), NodeId(1)), -3);
+        assert!(md.feasible());
+    }
+}

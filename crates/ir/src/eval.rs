@@ -1,0 +1,232 @@
+//! Operation semantics shared by the sequential reference interpreter and
+//! the pipelined VLIW simulator.
+//!
+//! Keeping the semantics in one place guarantees that the two execution
+//! modes the validation story compares (sequential vs software-pipelined)
+//! cannot drift apart.
+
+use std::fmt;
+
+use crate::opcode::{CmpKind, Opcode};
+use crate::types::Value;
+
+/// A dynamic type error during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// The operation being evaluated.
+    pub opcode: Opcode,
+    /// Description of the violation.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot evaluate {}: {}", self.opcode, self.reason)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn type_err(opcode: Opcode, reason: &'static str) -> EvalError {
+    EvalError { opcode, reason }
+}
+
+fn as_num(opcode: Opcode, v: Value) -> Result<f64, EvalError> {
+    v.as_float()
+        .ok_or_else(|| type_err(opcode, "predicate operand in arithmetic"))
+}
+
+fn both_int(a: Value, b: Value) -> Option<(i64, i64)> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some((x, y)),
+        _ => None,
+    }
+}
+
+/// Applies a value-producing, non-memory opcode to its source values.
+///
+/// Integer inputs stay integer for `Add`, `Sub`, `Mul`, `Min`, `Max` and
+/// `Abs`; mixed or float inputs promote to float. `Div` and `Sqrt` always
+/// produce floats. `AddrAdd`/`AddrSub` require integer operands (they are
+/// address arithmetic).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on a dynamic type violation (predicate operand in
+/// arithmetic, non-integer address, comparing predicates) or when asked to
+/// evaluate an opcode with no pure value semantics (`Load`, `Store`,
+/// `Branch`).
+///
+/// # Examples
+///
+/// ```
+/// use ims_ir::{eval, Opcode, Value};
+///
+/// let v = eval::apply(Opcode::Add, None, &[Value::Int(2), Value::Int(3)])?;
+/// assert_eq!(v, Value::Int(5));
+/// let v = eval::apply(Opcode::Div, None, &[Value::Float(1.0), Value::Float(4.0)])?;
+/// assert_eq!(v, Value::Float(0.25));
+/// # Ok::<(), ims_ir::eval::EvalError>(())
+/// ```
+pub fn apply(opcode: Opcode, cmp: Option<CmpKind>, srcs: &[Value]) -> Result<Value, EvalError> {
+    match opcode {
+        Opcode::AddrAdd | Opcode::AddrSub => {
+            let a = srcs[0]
+                .as_int()
+                .ok_or_else(|| type_err(opcode, "address operand is not an integer"))?;
+            let b = srcs[1]
+                .as_int()
+                .ok_or_else(|| type_err(opcode, "address operand is not an integer"))?;
+            Ok(Value::Int(if opcode == Opcode::AddrAdd {
+                a.wrapping_add(b)
+            } else {
+                a.wrapping_sub(b)
+            }))
+        }
+        Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Min | Opcode::Max => {
+            if let Some((x, y)) = both_int(srcs[0], srcs[1]) {
+                let r = match opcode {
+                    Opcode::Add => x.wrapping_add(y),
+                    Opcode::Sub => x.wrapping_sub(y),
+                    Opcode::Mul => x.wrapping_mul(y),
+                    Opcode::Min => x.min(y),
+                    Opcode::Max => x.max(y),
+                    _ => unreachable!("match arm covers five opcodes"),
+                };
+                return Ok(Value::Int(r));
+            }
+            let x = as_num(opcode, srcs[0])?;
+            let y = as_num(opcode, srcs[1])?;
+            let r = match opcode {
+                Opcode::Add => x + y,
+                Opcode::Sub => x - y,
+                Opcode::Mul => x * y,
+                Opcode::Min => x.min(y),
+                Opcode::Max => x.max(y),
+                _ => unreachable!("match arm covers five opcodes"),
+            };
+            Ok(Value::Float(r))
+        }
+        Opcode::Div => {
+            let x = as_num(opcode, srcs[0])?;
+            let y = as_num(opcode, srcs[1])?;
+            Ok(Value::Float(x / y))
+        }
+        Opcode::Sqrt => Ok(Value::Float(as_num(opcode, srcs[0])?.sqrt())),
+        Opcode::Abs => match srcs[0] {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Float(x) => Ok(Value::Float(x.abs())),
+            Value::Pred(_) => Err(type_err(opcode, "predicate operand in arithmetic")),
+        },
+        Opcode::Copy => Ok(srcs[0]),
+        Opcode::PredSet => {
+            let k = cmp.ok_or_else(|| type_err(opcode, "missing comparison kind"))?;
+            let x = as_num(opcode, srcs[0])?;
+            let y = as_num(opcode, srcs[1])?;
+            Ok(Value::Pred(k.apply(x, y)))
+        }
+        Opcode::PredClear => Ok(Value::Pred(false)),
+        Opcode::Load | Opcode::Store | Opcode::Branch => Err(type_err(
+            opcode,
+            "memory and branch operations have no pure value semantics",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        assert_eq!(
+            apply(Opcode::Mul, None, &[Value::Int(3), Value::Int(4)]).unwrap(),
+            Value::Int(12)
+        );
+        assert_eq!(
+            apply(Opcode::Min, None, &[Value::Int(3), Value::Int(-4)]).unwrap(),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            apply(Opcode::Abs, None, &[Value::Int(-4)]).unwrap(),
+            Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        assert_eq!(
+            apply(Opcode::Add, None, &[Value::Int(1), Value::Float(0.5)]).unwrap(),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn div_and_sqrt_are_float() {
+        assert_eq!(
+            apply(Opcode::Div, None, &[Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Float(0.5)
+        );
+        assert_eq!(
+            apply(Opcode::Sqrt, None, &[Value::Float(9.0)]).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn address_arithmetic_requires_ints() {
+        assert_eq!(
+            apply(Opcode::AddrAdd, None, &[Value::Int(10), Value::Int(2)]).unwrap(),
+            Value::Int(12)
+        );
+        assert_eq!(
+            apply(Opcode::AddrSub, None, &[Value::Int(10), Value::Int(2)]).unwrap(),
+            Value::Int(8)
+        );
+        assert!(apply(Opcode::AddrAdd, None, &[Value::Float(1.0), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(
+            apply(
+                Opcode::PredSet,
+                Some(CmpKind::Lt),
+                &[Value::Int(1), Value::Int(2)]
+            )
+            .unwrap(),
+            Value::Pred(true)
+        );
+        assert_eq!(
+            apply(Opcode::PredClear, None, &[]).unwrap(),
+            Value::Pred(false)
+        );
+        assert!(apply(Opcode::PredSet, None, &[Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn copy_passes_through() {
+        assert_eq!(
+            apply(Opcode::Copy, None, &[Value::Pred(true)]).unwrap(),
+            Value::Pred(true)
+        );
+    }
+
+    #[test]
+    fn memory_ops_rejected() {
+        assert!(apply(Opcode::Load, None, &[Value::Int(0)]).is_err());
+        assert!(apply(Opcode::Branch, None, &[Value::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn pred_in_arithmetic_rejected() {
+        assert!(apply(Opcode::Add, None, &[Value::Pred(true), Value::Int(1)]).is_err());
+        assert!(apply(Opcode::Abs, None, &[Value::Pred(true)]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = apply(Opcode::Load, None, &[Value::Int(0)]).unwrap_err();
+        assert!(e.to_string().contains("load"));
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! Loop intermediate representation for iterative modulo scheduling.
+//!
+//! The paper's scheduler consumed the Cydra 5 compiler's intermediate
+//! representation for innermost loops, *"just prior to modulo scheduling but
+//! after load-store elimination, recurrence back-substitution and
+//! IF-conversion"* (§4.1). This crate defines an equivalent IR:
+//!
+//! * a loop body is a straight-line sequence of [`Operation`]s (IF-conversion
+//!   has already replaced control flow with predicates, so the body *"looks
+//!   like a single basic block"* — §1);
+//! * the body is in **dynamic single assignment** form (§2.2): each virtual
+//!   register is defined by at most one operation per iteration, so all
+//!   anti- and output dependences on registers are eliminated by
+//!   construction, exactly as the paper's expanded-virtual-register (EVR)
+//!   preprocessing guarantees;
+//! * loop-carried values are expressed positionally: a use that precedes its
+//!   definition in the body (including a definition reading its own result,
+//!   like an accumulator) refers to the value produced that many iterations
+//!   earlier; [`RegUse::prev`] adds further iterations for higher-order
+//!   recurrences;
+//! * memory operations carry an optional affine [`MemRef`] descriptor
+//!   (`base + stride·i + offset`) from which the dependence analyzer derives
+//!   memory dependence distances;
+//! * every operation may be guarded by a predicate register, reproducing the
+//!   predicated-execution input the paper's corpus had after IF-conversion.
+//!
+//! Loop bodies are constructed with [`LoopBuilder`] and checked by
+//! [`validate::validate`].
+//!
+//! # Examples
+//!
+//! A dot-product loop (`s += a[i] * b[i]`):
+//!
+//! ```
+//! use ims_ir::{LoopBuilder, MemRef, Value};
+//!
+//! let mut b = LoopBuilder::new("dot", 100);
+//! let a = b.array("a", 100);
+//! let bb = b.array("b", 100);
+//! let pa = b.ptr("pa", a, 0);
+//! let pb = b.ptr("pb", bb, 0);
+//! let s = b.fresh("s");
+//! b.bind_live_in(s, Value::Float(0.0));
+//!
+//! let va = b.load("va", pa, Some(MemRef::new(a, 0, 1)));
+//! let vb = b.load("vb", pb, Some(MemRef::new(bb, 0, 1)));
+//! let prod = b.mul("prod", va, vb);
+//! b.rebind_add(s, s, prod);      // s = s + prod  (loop-carried recurrence)
+//! b.addr_add(pa, pa, 1);         // pa = pa + 1   (trivial SCC, as in §4.2)
+//! b.addr_add(pb, pb, 1);
+//! let body = b.finish().expect("valid body");
+//! assert_eq!(body.num_ops(), 6);
+//! ```
+
+mod body;
+mod builder;
+pub mod eval;
+mod op;
+mod opcode;
+mod types;
+pub mod validate;
+
+pub use body::{ArrayDecl, LiveIn, LiveInValue, LoopBody};
+pub use builder::LoopBuilder;
+pub use op::{MemRef, Operand, Operation, RegUse};
+pub use opcode::{CmpKind, FuClass, Opcode};
+pub use types::{ArrayId, OpId, VReg, Value};

@@ -1,0 +1,200 @@
+//! Identifier newtypes and runtime values.
+
+use std::fmt;
+
+/// A virtual register identifier.
+///
+/// Virtual registers follow the paper's expanded-virtual-register (EVR)
+/// discipline: a register names the *sequence* of values written to it, one
+/// per iteration, so nothing is ever overwritten across iterations (§2.2).
+/// Within one iteration a register is defined at most once (dynamic single
+/// assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Zero-based index of this register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The index of an operation within a [`crate::LoopBody`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Zero-based index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Identifier of an array declared by a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// Zero-based index of this array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}", self.0)
+    }
+}
+
+/// A runtime value: the dynamic types manipulated by loop operations.
+///
+/// The Cydra 5 computed on integers, floats, and single-bit predicates
+/// (IF-conversion produces predicate values — §1); this enum models all
+/// three. Values are dynamically typed because the IR does not annotate
+/// operations with types; the simulator promotes `Int` to `Float` when an
+/// arithmetic operation mixes them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A 64-bit integer (also used for addresses).
+    Int(i64),
+    /// A 64-bit IEEE float.
+    Float(f64),
+    /// A single-bit predicate.
+    Pred(bool),
+}
+
+impl Value {
+    /// Interprets the value as a float, promoting integers.
+    ///
+    /// Returns `None` for predicates.
+    pub fn as_float(self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            Value::Pred(_) => None,
+        }
+    }
+
+    /// Interprets the value as an integer.
+    ///
+    /// Returns `None` for floats and predicates (no implicit truncation).
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a predicate. Integers are truthy when
+    /// non-zero, matching branch-on-counter semantics.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Pred(b) => b,
+        }
+    }
+
+    /// Whether two values are equal, with exact float comparison.
+    ///
+    /// Unlike `==`, an `Int` compares equal to a `Float` of the same
+    /// mathematical value, which is what the sequential-vs-pipelined
+    /// simulator comparison needs.
+    pub fn same(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::Pred(a), Value::Pred(b)) => a == b,
+            (Value::Pred(_), _) | (_, Value::Pred(_)) => false,
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x == y || (x.is_nan() && y.is_nan()),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Pred(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Pred(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(3).to_string(), "v3");
+        assert_eq!(OpId(7).to_string(), "op7");
+        assert_eq!(ArrayId(1).to_string(), "arr1");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Pred(true).to_string(), "true");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Pred(true).as_float(), None);
+        assert_eq!(Value::Int(2).as_int(), Some(2));
+        assert_eq!(Value::Float(2.0).as_int(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(5).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Pred(true).truthy());
+        assert!(!Value::Float(0.0).truthy());
+    }
+
+    #[test]
+    fn same_promotes_numerics() {
+        assert!(Value::Int(2).same(Value::Float(2.0)));
+        assert!(!Value::Int(2).same(Value::Float(2.5)));
+        assert!(!Value::Pred(true).same(Value::Int(1)));
+        assert!(Value::Float(f64::NAN).same(Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3.0f64), Value::Float(3.0));
+        assert_eq!(Value::from(false), Value::Pred(false));
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! The benchmark-loop corpus.
+//!
+//! The paper's input set was *"1327 loops (1002 from the Perfect Club, 298
+//! from Spec, and 27 from the LFK)"*, extracted by the Cydra 5 Fortran
+//! compiler (§4.1). Those compiler dumps are not available, so this crate
+//! provides the substitute described in `DESIGN.md` §3:
+//!
+//! * [`kernels`](mod@kernels): 31 hand-written loops in the style of the Livermore
+//!   Fortran Kernels — reductions, first/second-order recurrences,
+//!   stencils, gathers with unanalyzable addresses, predicated
+//!   (IF-converted) loops, long-latency divide/sqrt loops. Each comes with
+//!   deterministic input data so the simulator can execute it end-to-end.
+//! * [`synth`]: a seeded random generator of *valid* loop bodies whose
+//!   corpus-level statistics are calibrated to the paper's Table 3
+//!   (operation counts with median ≈12, mean ≈19.5, max 163, heavily
+//!   skewed small; 77% of loops with no non-trivial SCC; SCC sizes almost
+//!   always 1).
+//! * [`corpus`]: [`corpus::paper_corpus`] assembles the full 1327-loop
+//!   substitute corpus with a synthetic execution profile (`EntryFreq`,
+//!   `LoopFreq`, and the 597/1327 executed-loop fraction of §4.3).
+
+pub mod corpus;
+pub mod kernels;
+pub mod synth;
+
+pub use corpus::{corpus_of_size, paper_corpus, Corpus, CorpusLoop, Profile, Source};
+pub use kernels::{kernels, Kernel};
+pub use synth::{generate_loop, SynthConfig};

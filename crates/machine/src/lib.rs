@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Machine models with reservation tables for modulo scheduling.
+//!
+//! §2.1 of the paper models resource usage with **reservation tables**: the
+//! resource usage of an opcode is *"a list of resources and the attendant
+//! times at which each of those resources is used by the operation relative
+//! to the time of issue"*. Reservation tables are classified as *simple*
+//! (one resource, one cycle, at issue), *block* (one resource, consecutive
+//! cycles from issue), or *complex* (anything else); block and complex
+//! tables are what make iterative scheduling necessary.
+//!
+//! An operation may also have **multiple alternatives** — it can execute on
+//! several (not necessarily equivalent) functional units, each with its own
+//! reservation table.
+//!
+//! This crate provides:
+//!
+//! * the [`ReservationTable`] / [`Alternative`] / [`MachineModel`] types and
+//!   a [`MachineBuilder`];
+//! * [`cydra`], a Cydra-5-like machine reproducing the paper's Table 2
+//!   (two memory ports with 20-cycle loads, two address ALUs, one adder, one
+//!   multiplier that also executes the 22-cycle divide and 26-cycle square
+//!   root, one instruction unit) with complex per-FU reservation tables;
+//! * [`figure1_machine`], the literal Figure 1 variant whose adder and
+//!   multiplier share their source and result buses;
+//! * [`cydra_simple`], the same machine abstracted with simple reservation
+//!   tables — the paper notes that *"if the ALU and multiplier possessed
+//!   their own source and result buses … both reservation tables could be
+//!   abstracted by simple reservation tables"*;
+//! * small synthetic machines for tests and ablations.
+//!
+//! # Examples
+//!
+//! The Figure 1 collision: on the literal Figure 1 machine an add and a
+//! multiply cannot issue on the same cycle because they share the source
+//! buses.
+//!
+//! ```
+//! use ims_machine::{figure1_machine, TableClass};
+//! use ims_ir::Opcode;
+//!
+//! let m = figure1_machine();
+//! let add = &m.info(Opcode::Add).alternatives[0].table;
+//! let mul = &m.info(Opcode::Mul).alternatives[0].table;
+//! assert_eq!(add.class(), TableClass::Complex);
+//! // Both use the shared source-bus resource on their issue cycle.
+//! assert!(add.uses().iter().any(|&(r, t)| t == 0 && mul.uses().contains(&(r, 0))));
+//! ```
+
+mod cydra;
+mod model;
+mod reservation;
+
+pub use cydra::{cydra, cydra_simple, figure1_machine, minimal, single_alu, wide};
+pub use model::{Alternative, MachineBuilder, MachineModel, OpcodeInfo, Resource, ResourceId};
+pub use reservation::{ReservationTable, TableClass};

@@ -1,0 +1,303 @@
+//! Machine model: resources, alternatives, and per-opcode information.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ims_ir::Opcode;
+
+use crate::reservation::ReservationTable;
+
+/// Identifier of a machine resource (a pipeline stage of a functional unit,
+/// a bus, or a field in the instruction format — §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// Zero-based index of this resource.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res{}", self.0)
+    }
+}
+
+/// A named machine resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Human-readable name, e.g. `"mem_port0"` or `"result_bus"`.
+    pub name: String,
+}
+
+/// One way of executing an opcode: a named functional unit together with the
+/// reservation table its use implies. *"A particular operation may be
+/// executable on multiple functional units, in which case it is said to have
+/// multiple alternatives, with a different reservation table corresponding
+/// to each one."* (§2.1)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alternative {
+    /// Name of the functional unit, e.g. `"mem_port1"`.
+    pub fu: String,
+    /// The resource usage pattern of this alternative.
+    pub table: ReservationTable,
+}
+
+/// Scheduling-relevant information about one opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpcodeInfo {
+    /// Execution latency in cycles: a flow-dependent successor may issue
+    /// this many cycles after the operation issues.
+    pub latency: u32,
+    /// The ways this opcode can execute, in preference order.
+    pub alternatives: Vec<Alternative>,
+}
+
+/// A complete machine model: the resource set plus per-opcode latency and
+/// alternatives.
+///
+/// Build one with [`MachineBuilder`] or use the predefined models in this
+/// crate ([`crate::cydra`], [`crate::cydra_simple`], …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    name: String,
+    resources: Vec<Resource>,
+    info: BTreeMap<Opcode, OpcodeInfo>,
+}
+
+impl MachineModel {
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of resources.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// The resource with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.index()]
+    }
+
+    /// All resources, indexable by [`ResourceId::index`].
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Information for `opcode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not implement `opcode`; use
+    /// [`MachineModel::get_info`] for a fallible lookup.
+    pub fn info(&self, opcode: Opcode) -> &OpcodeInfo {
+        self.get_info(opcode)
+            .unwrap_or_else(|| panic!("machine {} does not implement {opcode}", self.name))
+    }
+
+    /// Information for `opcode`, or `None` if unimplemented.
+    pub fn get_info(&self, opcode: Opcode) -> Option<&OpcodeInfo> {
+        self.info.get(&opcode)
+    }
+
+    /// The latency of `opcode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not implement `opcode`.
+    pub fn latency(&self, opcode: Opcode) -> u32 {
+        self.info(opcode).latency
+    }
+
+    /// Iterates over implemented opcodes in a stable order.
+    pub fn opcodes(&self) -> impl Iterator<Item = (Opcode, &OpcodeInfo)> + '_ {
+        self.info.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether every opcode an IR loop can contain is implemented.
+    pub fn is_complete(&self) -> bool {
+        Opcode::ALL.iter().all(|o| self.info.contains_key(o))
+    }
+}
+
+/// Builder for [`MachineModel`].
+///
+/// # Examples
+///
+/// ```
+/// use ims_machine::{MachineBuilder, ReservationTable};
+/// use ims_ir::Opcode;
+///
+/// let mut b = MachineBuilder::new("tiny");
+/// let alu = b.resource("alu");
+/// for op in Opcode::ALL {
+///     b.op(op, 1, vec![("alu", ReservationTable::simple(alu))]);
+/// }
+/// let m = b.build();
+/// assert!(m.is_complete());
+/// assert_eq!(m.latency(Opcode::Add), 1);
+/// ```
+#[derive(Debug)]
+pub struct MachineBuilder {
+    name: String,
+    resources: Vec<Resource>,
+    info: BTreeMap<Opcode, OpcodeInfo>,
+}
+
+impl MachineBuilder {
+    /// Starts building a machine named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            name: name.into(),
+            resources: Vec::new(),
+            info: BTreeMap::new(),
+        }
+    }
+
+    /// Declares a resource, returning its id.
+    pub fn resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(Resource { name: name.into() });
+        ResourceId(self.resources.len() as u32 - 1)
+    }
+
+    /// Defines `opcode` with the given latency and `(fu-name, table)`
+    /// alternatives, replacing any previous definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty, if `latency` is zero, or if any
+    /// table references an undeclared resource.
+    pub fn op(
+        &mut self,
+        opcode: Opcode,
+        latency: u32,
+        alternatives: Vec<(&str, ReservationTable)>,
+    ) -> &mut Self {
+        self.op_alts(
+            opcode,
+            latency,
+            alternatives
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        )
+    }
+
+    /// Like [`MachineBuilder::op`], with owned alternative names (useful
+    /// when alternative sets are generated, e.g. the cross product of
+    /// functional units and instruction-format fields).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`MachineBuilder::op`].
+    pub fn op_alts(
+        &mut self,
+        opcode: Opcode,
+        latency: u32,
+        alternatives: Vec<(String, ReservationTable)>,
+    ) -> &mut Self {
+        assert!(
+            !alternatives.is_empty(),
+            "{opcode} must have at least one alternative"
+        );
+        assert!(latency > 0, "{opcode} latency must be positive");
+        for (_, t) in &alternatives {
+            for &(r, _) in t.uses() {
+                assert!(
+                    r.index() < self.resources.len(),
+                    "table for {opcode} references undeclared {r}"
+                );
+            }
+        }
+        self.info.insert(
+            opcode,
+            OpcodeInfo {
+                latency,
+                alternatives: alternatives
+                    .into_iter()
+                    .map(|(fu, table)| Alternative { fu, table })
+                    .collect(),
+            },
+        );
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> MachineModel {
+        MachineModel {
+            name: self.name,
+            resources: self.resources,
+            info: self.info,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MachineModel {
+        let mut b = MachineBuilder::new("t");
+        let alu = b.resource("alu");
+        b.op(Opcode::Add, 2, vec![("alu", ReservationTable::simple(alu))]);
+        b.build()
+    }
+
+    #[test]
+    fn lookup_paths() {
+        let m = tiny();
+        assert_eq!(m.name(), "t");
+        assert_eq!(m.num_resources(), 1);
+        assert_eq!(m.resource(ResourceId(0)).name, "alu");
+        assert_eq!(m.latency(Opcode::Add), 2);
+        assert!(m.get_info(Opcode::Mul).is_none());
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not implement")]
+    fn missing_opcode_panics() {
+        let _ = tiny().info(Opcode::Mul);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alternative")]
+    fn empty_alternatives_panic() {
+        let mut b = MachineBuilder::new("t");
+        b.op(Opcode::Add, 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn undeclared_resource_panics() {
+        let mut b = MachineBuilder::new("t");
+        b.op(
+            Opcode::Add,
+            1,
+            vec![("x", ReservationTable::simple(ResourceId(9)))],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be positive")]
+    fn zero_latency_panics() {
+        let mut b = MachineBuilder::new("t");
+        let alu = b.resource("alu");
+        b.op(Opcode::Add, 0, vec![("alu", ReservationTable::simple(alu))]);
+    }
+
+    #[test]
+    fn opcode_iteration_is_stable() {
+        let m = tiny();
+        let ops: Vec<Opcode> = m.opcodes().map(|(o, _)| o).collect();
+        assert_eq!(ops, vec![Opcode::Add]);
+    }
+}

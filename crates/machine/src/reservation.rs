@@ -1,0 +1,181 @@
+//! Reservation tables and their classification.
+
+use std::fmt;
+
+use crate::model::ResourceId;
+
+/// Classification of a reservation table (§2.1): *"A simple reservation
+/// table is one which uses a single resource for a single cycle on the cycle
+/// of issue. A block reservation table uses a single resource for multiple,
+/// consecutive cycles starting with the cycle of issue. Any other type of
+/// reservation table is termed a complex reservation table."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TableClass {
+    /// One resource, one cycle, at issue.
+    Simple,
+    /// One resource, consecutive cycles starting at issue.
+    Block,
+    /// Everything else. *"Block and complex reservation tables cause
+    /// increasing levels of difficulty for the scheduler."*
+    Complex,
+}
+
+impl fmt::Display for TableClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TableClass::Simple => "simple",
+            TableClass::Block => "block",
+            TableClass::Complex => "complex",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The resource usage pattern of one alternative of one opcode: a sorted,
+/// de-duplicated list of `(resource, cycle-offset)` pairs relative to the
+/// issue cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReservationTable {
+    uses: Vec<(ResourceId, u32)>,
+}
+
+impl ReservationTable {
+    /// Builds a table from `(resource, offset)` pairs. Duplicates are
+    /// removed and the list is sorted by `(offset, resource)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uses` is empty: an operation that uses no resource at all
+    /// would be invisible to the scheduler.
+    pub fn new(mut uses: Vec<(ResourceId, u32)>) -> Self {
+        assert!(!uses.is_empty(), "a reservation table must use a resource");
+        uses.sort_by_key(|&(r, t)| (t, r));
+        uses.dedup();
+        ReservationTable { uses }
+    }
+
+    /// A simple table: `resource` for one cycle at issue.
+    pub fn simple(resource: ResourceId) -> Self {
+        ReservationTable::new(vec![(resource, 0)])
+    }
+
+    /// A block table: `resource` for `cycles` consecutive cycles from issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn block(resource: ResourceId, cycles: u32) -> Self {
+        assert!(cycles > 0, "a block table must span at least one cycle");
+        ReservationTable::new((0..cycles).map(|t| (resource, t)).collect())
+    }
+
+    /// The `(resource, offset)` pairs, sorted by `(offset, resource)`.
+    pub fn uses(&self) -> &[(ResourceId, u32)] {
+        &self.uses
+    }
+
+    /// The largest cycle offset used.
+    pub fn max_offset(&self) -> u32 {
+        self.uses
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .expect("table is non-empty by construction")
+    }
+
+    /// Classifies the table per §2.1.
+    pub fn class(&self) -> TableClass {
+        let first = self.uses[0].0;
+        if self.uses.iter().any(|&(r, _)| r != first) {
+            return TableClass::Complex;
+        }
+        // Single resource; offsets are sorted and unique.
+        let consecutive_from_zero = self
+            .uses
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, t))| t == i as u32);
+        match (consecutive_from_zero, self.uses.len()) {
+            (true, 1) => TableClass::Simple,
+            (true, _) => TableClass::Block,
+            (false, _) => TableClass::Complex,
+        }
+    }
+
+    /// Whether this table and `other`, issued `offset` cycles apart
+    /// (`other` later), collide on any resource. Used in tests and in the
+    /// acyclic list scheduler; the modulo scheduler uses the modulo
+    /// reservation table instead.
+    pub fn collides_at(&self, other: &ReservationTable, offset: i64) -> bool {
+        self.uses.iter().any(|&(r1, t1)| {
+            other
+                .uses
+                .iter()
+                .any(|&(r2, t2)| r1 == r2 && t1 as i64 == t2 as i64 + offset)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    #[test]
+    fn classification_simple() {
+        assert_eq!(ReservationTable::simple(r(0)).class(), TableClass::Simple);
+    }
+
+    #[test]
+    fn classification_block() {
+        assert_eq!(ReservationTable::block(r(0), 3).class(), TableClass::Block);
+        // A single-cycle block is simple.
+        assert_eq!(ReservationTable::block(r(0), 1).class(), TableClass::Simple);
+    }
+
+    #[test]
+    fn classification_complex() {
+        // Two distinct resources.
+        let t = ReservationTable::new(vec![(r(0), 0), (r(1), 1)]);
+        assert_eq!(t.class(), TableClass::Complex);
+        // One resource but non-consecutive use.
+        let t = ReservationTable::new(vec![(r(0), 0), (r(0), 2)]);
+        assert_eq!(t.class(), TableClass::Complex);
+        // One resource, consecutive, but not starting at issue.
+        let t = ReservationTable::new(vec![(r(0), 1), (r(0), 2)]);
+        assert_eq!(t.class(), TableClass::Complex);
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let t = ReservationTable::new(vec![(r(1), 2), (r(0), 0), (r(1), 2)]);
+        assert_eq!(t.uses(), &[(r(0), 0), (r(1), 2)]);
+        assert_eq!(t.max_offset(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must use a resource")]
+    fn empty_table_panics() {
+        let _ = ReservationTable::new(vec![]);
+    }
+
+    #[test]
+    fn figure_1_collision_semantics() {
+        // Figure 1's narrative: with a shared result bus, an add (result bus
+        // at offset 3) collides with a multiply issued earlier (result bus
+        // at offset 4) when the add is issued one cycle after the multiply.
+        let src = r(0);
+        let res = r(1);
+        let add = ReservationTable::new(vec![(src, 0), (res, 3)]);
+        let mul = ReservationTable::new(vec![(src, 0), (res, 4)]);
+        // Same cycle: source bus collision.
+        assert!(mul.collides_at(&add, 0));
+        // Add one cycle after multiply: result bus collision (3 + 1 == 4).
+        assert!(mul.collides_at(&add, 1));
+        // Add two cycles after multiply: no collision.
+        assert!(!mul.collides_at(&add, 2));
+    }
+}

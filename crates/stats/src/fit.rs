@@ -1,0 +1,293 @@
+//! Least-mean-square polynomial fitting.
+//!
+//! §4.4 of the paper characterizes the *empirical* computational complexity
+//! of each scheduling sub-activity by fitting a low-degree polynomial in `N`
+//! (the number of operations in the loop) to measured inner-loop trip counts,
+//! e.g. *"The expected number of times this loop is executed is given by
+//! 0.0587·N² + 0.2001·N + 0.5000"*. This module provides that fit.
+
+use std::fmt;
+
+/// Error produced when a fit cannot be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients requested.
+    TooFewSamples {
+        /// Number of samples provided.
+        samples: usize,
+        /// Number of polynomial coefficients requested (degree + 1).
+        coefficients: usize,
+    },
+    /// The normal-equation system was singular (e.g. all x values equal).
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples {
+                samples,
+                coefficients,
+            } => write!(
+                f,
+                "cannot fit {coefficients} coefficients to {samples} samples"
+            ),
+            FitError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted polynomial `y ≈ c₀ + c₁·x + c₂·x² + …` together with the
+/// standard deviation of the residual error, which the paper reports for the
+/// RecMII fit (*"the standard deviation of the residual error is 1842.7"*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients in ascending-power order: `coeffs[k]` multiplies `x^k`.
+    pub coeffs: Vec<f64>,
+    /// Standard deviation of the residuals `y - ŷ`.
+    pub residual_stddev: f64,
+}
+
+impl PolyFit {
+    /// Evaluates the fitted polynomial at `x`.
+    ///
+    /// ```
+    /// use ims_stats::polyfit;
+    /// let xs = [1.0, 2.0, 3.0, 4.0];
+    /// let ys = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+    /// let fit = polyfit(&xs, &ys, 1)?;
+    /// assert!((fit.eval(10.0) - 21.0).abs() < 1e-9);
+    /// # Ok::<(), ims_stats::FitError>(())
+    /// ```
+    pub fn eval(&self, x: f64) -> f64 {
+        // Horner evaluation.
+        self.coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+    }
+}
+
+impl fmt::Display for PolyFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, c) in self.coeffs.iter().enumerate().rev() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match k {
+                0 => write!(f, "{c:.4}")?,
+                1 => write!(f, "{c:.4}N")?,
+                _ => write!(f, "{c:.4}N^{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fits `y ≈ Σ cₖ·xᵏ` for `k = 0..=degree` by least squares.
+///
+/// # Errors
+///
+/// Returns [`FitError::TooFewSamples`] when there are fewer samples than
+/// coefficients, and [`FitError::Singular`] when the normal equations are
+/// singular (for example, when every `x` is identical).
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, FitError> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must be the same length");
+    let m = degree + 1;
+    if xs.len() < m {
+        return Err(FitError::TooFewSamples {
+            samples: xs.len(),
+            coefficients: m,
+        });
+    }
+    // Build the normal equations A·c = b where A[i][j] = Σ x^(i+j),
+    // b[i] = Σ y·x^i.
+    let mut a = vec![vec![0.0f64; m]; m];
+    let mut b = vec![0.0f64; m];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut xp = vec![1.0f64; 2 * m - 1];
+        for k in 1..2 * m - 1 {
+            xp[k] = xp[k - 1] * x;
+        }
+        for i in 0..m {
+            for j in 0..m {
+                a[i][j] += xp[i + j];
+            }
+            b[i] += y * xp[i];
+        }
+    }
+    let coeffs = solve(&mut a, &mut b)?;
+    let residual_stddev = residual_stddev(xs, ys, &coeffs);
+    Ok(PolyFit {
+        coeffs,
+        residual_stddev,
+    })
+}
+
+/// Fits `y ≈ c·x` (a line through the origin), the form the paper uses for
+/// most sub-activities (e.g. *"The best fit polynomial for E is given by
+/// 3.0036·N"*).
+///
+/// # Errors
+///
+/// Returns [`FitError::Singular`] when `Σx²` is zero (all `x` are zero) and
+/// [`FitError::TooFewSamples`] when no samples are given.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths.
+pub fn linear_fit_through_origin(xs: &[f64], ys: &[f64]) -> Result<PolyFit, FitError> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must be the same length");
+    if xs.is_empty() {
+        return Err(FitError::TooFewSamples {
+            samples: 0,
+            coefficients: 1,
+        });
+    }
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx == 0.0 {
+        return Err(FitError::Singular);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let c = sxy / sxx;
+    let coeffs = vec![0.0, c];
+    let residual_stddev = residual_stddev(xs, ys, &coeffs);
+    Ok(PolyFit {
+        coeffs,
+        residual_stddev,
+    })
+}
+
+fn residual_stddev(xs: &[f64], ys: &[f64], coeffs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let fit = PolyFit {
+        coeffs: coeffs.to_vec(),
+        residual_stddev: 0.0,
+    };
+    let sse: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = y - fit.eval(x);
+            r * r
+        })
+        .sum();
+    (sse / n).sqrt()
+}
+
+/// Solves the small dense system `A·x = b` by Gaussian elimination with
+/// partial pivoting. `A` and `b` are destroyed.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("pivot magnitudes are finite")
+            })
+            .expect("non-empty column range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(FitError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (x, p) in rest[0].iter_mut().zip(pivot_row).skip(col) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in row + 1..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let fit = polyfit(&xs, &ys, 1).unwrap();
+        assert!((fit.coeffs[0] + 1.0).abs() < 1e-9);
+        assert!((fit.coeffs[1] - 2.5).abs() < 1e-9);
+        assert!(fit.residual_stddev < 1e-9);
+    }
+
+    #[test]
+    fn exact_quadratic_recovered() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.0587 * x * x + 0.2 * x + 0.5).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        assert!((fit.coeffs[2] - 0.0587).abs() < 1e-9);
+        assert!((fit.coeffs[1] - 0.2).abs() < 1e-9);
+        assert!((fit.coeffs[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn through_origin_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 6.0, 9.0];
+        let fit = linear_fit_through_origin(&xs, &ys).unwrap();
+        assert!((fit.coeffs[1] - 3.0).abs() < 1e-12);
+        assert_eq!(fit.coeffs[0], 0.0);
+    }
+
+    #[test]
+    fn noisy_fit_has_nonzero_residual() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.1, 1.9, 3.2, 3.8];
+        let fit = polyfit(&xs, &ys, 1).unwrap();
+        assert!(fit.residual_stddev > 0.0);
+        assert!(fit.residual_stddev < 0.5);
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        assert!(matches!(
+            polyfit(&[1.0], &[1.0], 2),
+            Err(FitError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_xs_is_singular() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(polyfit(&xs, &ys, 1), Err(FitError::Singular));
+        assert_eq!(
+            linear_fit_through_origin(&[0.0, 0.0], &[1.0, 2.0]),
+            Err(FitError::Singular)
+        );
+    }
+
+    #[test]
+    fn display_mentions_highest_power_first() {
+        let fit = PolyFit {
+            coeffs: vec![0.5, 0.2, 0.0587],
+            residual_stddev: 0.0,
+        };
+        let s = format!("{fit}");
+        assert!(s.starts_with("0.0587N^2"), "got {s}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Integer-valued histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over integer-valued measurements.
+///
+/// Used by the reproduction harness for claims such as §4.3's DeltaII
+/// breakdown: *"Of the 1327 loops scheduled, 32 had a DeltaII of 1, 8 had a
+/// DeltaII of 2, and 11 had a DeltaII that was greater than 2."*
+///
+/// # Examples
+///
+/// ```
+/// use ims_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for delta in [0, 0, 0, 1, 2] {
+///     h.add(delta);
+/// }
+/// assert_eq!(h.count_of(0), 3);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.fraction_at_most(1), 0.8);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<i64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn add(&mut self, value: i64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations exactly equal to `value`.
+    pub fn count_of(&self, value: i64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Number of observations strictly greater than `value`.
+    pub fn count_greater_than(&self, value: i64) -> u64 {
+        self.counts
+            .range(value + 1..)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations `<= value`; `0.0` for an empty histogram.
+    pub fn fraction_at_most(&self, value: i64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let le: u64 = self.counts.range(..=value).map(|(_, c)| *c).sum();
+        le as f64 / self.total as f64
+    }
+
+    /// Largest observed value, or `None` when empty.
+    pub fn max(&self) -> Option<i64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Iterates over `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.counts.iter().map(|(v, c)| (*v, *c))
+    }
+}
+
+impl FromIterator<i64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = i64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+impl Extend<i64> for Histogram {
+    fn extend<I: IntoIterator<Item = i64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "(empty histogram)");
+        }
+        for (v, c) in &self.counts {
+            writeln!(f, "{v:>8}: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_totals() {
+        let h: Histogram = [0, 0, 1, 2, 2, 2].into_iter().collect();
+        assert_eq!(h.count_of(0), 2);
+        assert_eq!(h.count_of(2), 3);
+        assert_eq!(h.count_of(7), 0);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), Some(2));
+    }
+
+    #[test]
+    fn greater_than_counts() {
+        let h: Histogram = [0, 1, 2, 3, 20].into_iter().collect();
+        assert_eq!(h.count_greater_than(2), 2);
+        assert_eq!(h.count_greater_than(20), 0);
+    }
+
+    #[test]
+    fn fractions() {
+        let h: Histogram = [0, 0, 0, 1].into_iter().collect();
+        assert_eq!(h.fraction_at_most(0), 0.75);
+        assert_eq!(h.fraction_at_most(1), 1.0);
+        assert_eq!(Histogram::new().fraction_at_most(5), 0.0);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut h = Histogram::new();
+        h.extend([1, 1]);
+        h.extend([2]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let h: Histogram = [1].into_iter().collect();
+        assert!(format!("{h}").contains('1'));
+        assert_eq!(format!("{}", Histogram::new()), "(empty histogram)");
+    }
+}

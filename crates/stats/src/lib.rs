@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Statistics toolkit for the iterative-modulo-scheduling reproduction.
+//!
+//! The paper's evaluation (§4) reports three kinds of measurements, all of
+//! which this crate implements:
+//!
+//! * **Distribution summaries** ([`DistributionStats`]) with exactly the
+//!   columns of the paper's Table 3: minimum possible value, frequency of the
+//!   minimum possible value, median, mean, and observed maximum.
+//! * **Least-mean-square polynomial fits** ([`polyfit`]) used in §4.4 to
+//!   characterize the empirical computational complexity of each
+//!   sub-activity (e.g. "the best fit polynomial for E is 3.0036·N").
+//! * **Histograms** ([`Histogram`]) for claims such as the DeltaII
+//!   distribution ("32 loops had a DeltaII of 1, 8 a DeltaII of 2, ...").
+//!
+//! A small fixed-width [`table`] formatter is also provided so that the
+//! reproduction binaries can print tables in the same layout as the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use ims_stats::DistributionStats;
+//!
+//! let samples = [4.0, 4.0, 7.0, 9.0, 100.0];
+//! let stats = DistributionStats::from_samples(&samples, 4.0);
+//! assert_eq!(stats.minimum_possible, 4.0);
+//! assert_eq!(stats.freq_of_minimum, 0.4);
+//! assert_eq!(stats.median, 7.0);
+//! assert_eq!(stats.maximum, 100.0);
+//! ```
+
+mod fit;
+mod hist;
+mod summary;
+pub mod table;
+
+pub use fit::{linear_fit_through_origin, polyfit, FitError, PolyFit};
+pub use hist::Histogram;
+pub use summary::DistributionStats;

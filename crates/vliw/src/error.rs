@@ -1,0 +1,99 @@
+//! Simulation errors.
+
+use std::fmt;
+
+use ims_ir::{eval::EvalError, OpId};
+
+/// A dynamic error during simulation. Timing errors
+/// ([`SimError::ReadBeforeReady`]) are the interesting ones: they mean a
+/// schedule violated the machine's NUAL latency contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An operation read a register whose producer's latency had not yet
+    /// elapsed — the schedule is illegal on NUAL hardware.
+    ReadBeforeReady {
+        /// The reading operation.
+        op: OpId,
+        /// The cycle of the read.
+        cycle: i64,
+        /// The cycle the value becomes architecturally visible.
+        available: i64,
+    },
+    /// An operation read a register that holds no value (no executed
+    /// definition and no live-in binding).
+    UnwrittenRead {
+        /// The reading operation.
+        op: OpId,
+    },
+    /// A memory access outside the laid-out arrays.
+    BadAddress {
+        /// The accessing operation.
+        op: OpId,
+        /// The offending flat address.
+        addr: i64,
+    },
+    /// A memory address operand that is not an integer.
+    BadAddressType {
+        /// The accessing operation.
+        op: OpId,
+    },
+    /// A dynamic type error in operation semantics.
+    Eval(EvalError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ReadBeforeReady {
+                op,
+                cycle,
+                available,
+            } => write!(
+                f,
+                "{op} reads at cycle {cycle} a value available only at {available}"
+            ),
+            SimError::UnwrittenRead { op } => write!(f, "{op} reads an unwritten register"),
+            SimError::BadAddress { op, addr } => write!(f, "{op} accesses bad address {addr}"),
+            SimError::BadAddressType { op } => write!(f, "{op} address operand is not integer"),
+            SimError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ims_ir::Opcode;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SimError::ReadBeforeReady {
+            op: OpId(3),
+            cycle: 10,
+            available: 12,
+        };
+        assert!(e.to_string().contains("op3"));
+        assert!(e.to_string().contains("12"));
+        let e = SimError::from(EvalError {
+            opcode: Opcode::Load,
+            reason: "x",
+        });
+        assert!(matches!(e, SimError::Eval(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,260 @@
+//! The sequential reference interpreter.
+
+use ims_deps::resolve_use;
+use ims_ir::{eval, LoopBody, OpId, Opcode, Operand, Value};
+
+use crate::error::SimError;
+use crate::memory::MemoryImage;
+use crate::ExecResult;
+
+/// Resolves a lag-aware live-in against a memory layout snapshot.
+fn memory_live_in(
+    body: &LoopBody,
+    layout: &MemoryImage,
+    reg: ims_ir::VReg,
+    lag: u32,
+) -> Option<Value> {
+    layout.live_in_lag(body, reg, lag)
+}
+
+/// Runs `body` for its trip count, one iteration at a time, with no timing
+/// model. This is the semantic ground truth the pipelined executions are
+/// compared against.
+///
+/// Expanded-virtual-register semantics: every `(iteration, register)` pair
+/// is a distinct storage location, so loop-carried reads reference exactly
+/// the iteration the dependence analyzer resolves them to. A read of an
+/// instance whose definition was predicated off falls back to the most
+/// recent earlier instance (registers keep their value when a predicated
+/// write is squashed), then to the live-in value.
+///
+/// # Errors
+///
+/// See [`SimError`]; this mode cannot produce
+/// [`SimError::ReadBeforeReady`].
+pub fn run_sequential(body: &LoopBody, memory: MemoryImage) -> Result<ExecResult, SimError> {
+    let n = body.trip_count() as usize;
+    let nv = body.num_vregs();
+    let live_in = memory.live_in_values(body);
+    let live_in_seed = memory.clone();
+    // history[iter][vreg]: the value written by that iteration's instance.
+    let mut history: Vec<Vec<Option<Value>>> = vec![vec![None; nv]; n];
+    let mut memory = memory;
+
+    let read = |history: &[Vec<Option<Value>>],
+                at: OpId,
+                u: ims_ir::RegUse,
+                iter: usize|
+     -> Result<Value, SimError> {
+        match resolve_use(body, at, u) {
+            None => memory_live_in(body, &live_in_seed, u.reg, 1 + u.prev)
+                .ok_or(SimError::UnwrittenRead { op: at }),
+            Some((_, d)) => {
+                let target = iter as i64 - d as i64;
+                if target < 0 {
+                    // A pre-loop instance: the per-lag live-in seed.
+                    return memory_live_in(body, &live_in_seed, u.reg, (-target) as u32)
+                        .ok_or(SimError::UnwrittenRead { op: at });
+                }
+                // Walk back over squashed (predicated-off) instances.
+                let mut j = target;
+                while j >= 0 {
+                    if let Some(v) = history[j as usize][u.reg.index()] {
+                        return Ok(v);
+                    }
+                    j -= 1;
+                }
+                memory_live_in(body, &live_in_seed, u.reg, 1)
+                    .ok_or(SimError::UnwrittenRead { op: at })
+            }
+        }
+    };
+
+    for iter in 0..n {
+        for (id, op) in body.iter() {
+            // Guarding predicate.
+            if let Some(p) = op.pred {
+                let pv = read(&history, id, p, iter)?;
+                if !pv.truthy() {
+                    continue;
+                }
+            }
+            let mut srcs = Vec::with_capacity(op.srcs.len());
+            for s in &op.srcs {
+                srcs.push(match s {
+                    Operand::ImmInt(v) => Value::Int(*v),
+                    Operand::ImmFloat(v) => Value::Float(*v),
+                    Operand::Reg(u) => read(&history, id, *u, iter)?,
+                });
+            }
+            match op.opcode {
+                Opcode::Load => {
+                    let addr = srcs[0]
+                        .as_int()
+                        .ok_or(SimError::BadAddressType { op: id })?;
+                    let v = memory.read(id, addr)?;
+                    history[iter][op.dest.expect("loads have destinations").index()] = Some(v);
+                }
+                Opcode::Store => {
+                    let addr = srcs[0]
+                        .as_int()
+                        .ok_or(SimError::BadAddressType { op: id })?;
+                    memory.write(id, addr, srcs[1])?;
+                }
+                Opcode::Branch => {
+                    // DO-loop semantics: the trip count drives execution.
+                }
+                _ => {
+                    let v = eval::apply(op.opcode, op.cmp, &srcs)?;
+                    history[iter][op.dest.expect("value ops have destinations").index()] =
+                        Some(v);
+                }
+            }
+        }
+    }
+
+    // Final register values: most recent executed definition, else live-in.
+    let mut final_regs = vec![None; nv];
+    for r in 0..nv {
+        for iter in (0..n).rev() {
+            if history[iter][r].is_some() {
+                final_regs[r] = history[iter][r];
+                break;
+            }
+        }
+        if final_regs[r].is_none() {
+            final_regs[r] = live_in[r];
+        }
+    }
+
+    Ok(ExecResult {
+        memory,
+        final_regs,
+        cycles: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ims_ir::{ArrayId, CmpKind, LoopBuilder, MemRef};
+
+    #[test]
+    fn accumulator_sums() {
+        let mut b = LoopBuilder::new("sum", 5);
+        let s = b.fresh("s");
+        b.bind_live_in(s, Value::Float(0.0));
+        b.rebind_add(s, s, 2.0f64);
+        let body = b.finish().unwrap();
+        let r = run_sequential(&body, MemoryImage::for_body(&body)).unwrap();
+        assert_eq!(r.final_regs[s.index()], Some(Value::Float(10.0)));
+    }
+
+    #[test]
+    fn array_scale_writes_memory() {
+        let mut b = LoopBuilder::new("scale", 4);
+        let a = b.array("a", 4);
+        let pa = b.ptr("pa", a, 0);
+        let v = b.load("v", pa, Some(MemRef::new(a, 0, 1)));
+        let w = b.mul("w", v, 3.0f64);
+        b.store(pa, w, Some(MemRef::new(a, 0, 1)));
+        b.addr_add(pa, pa, 1);
+        let body = b.finish().unwrap();
+        let mut img = MemoryImage::for_body(&body);
+        for i in 0..4 {
+            img.set(a, i, Value::Float((i + 1) as f64));
+        }
+        let r = run_sequential(&body, img).unwrap();
+        for i in 0..4 {
+            assert_eq!(r.memory.get(a, i), Value::Float(3.0 * (i + 1) as f64));
+        }
+    }
+
+    #[test]
+    fn second_order_recurrence() {
+        // fib-ish: x = x[-1] + x[-2], both lags seeded with 1.
+        let mut b = LoopBuilder::new("fib", 5);
+        let x = b.fresh("x");
+        b.bind_live_in(x, Value::Int(1));
+        let two_back = b.back(x, 1);
+        b.rebind(x, Opcode::Add, vec![x.into(), two_back]);
+        let body = b.finish().unwrap();
+        let r = run_sequential(&body, MemoryImage::for_body(&body)).unwrap();
+        // 1,1 -> 2, 3, 5, 8, 13.
+        assert_eq!(r.final_regs[x.index()], Some(Value::Int(13)));
+    }
+
+    #[test]
+    fn predicated_store_skips() {
+        // Store only when the loaded value is positive.
+        let mut b = LoopBuilder::new("pred", 4);
+        let a = b.array("a", 4);
+        let out = b.array("o", 4);
+        let pa = b.ptr("pa", a, 0);
+        let po = b.ptr("po", out, 0);
+        let v = b.load("v", pa, Some(MemRef::new(a, 0, 1)));
+        let p = b.pred_set("p", CmpKind::Gt, v, 0.0f64);
+        let st = b.store(po, v, Some(MemRef::new(out, 0, 1)));
+        b.guard(st, p);
+        b.addr_add(pa, pa, 1);
+        b.addr_add(po, po, 1);
+        let body = b.finish().unwrap();
+        let mut img = MemoryImage::for_body(&body);
+        let vals = [1.0, -2.0, 3.0, -4.0];
+        for (i, &v) in vals.iter().enumerate() {
+            img.set(a, i, Value::Float(v));
+        }
+        let r = run_sequential(&body, img).unwrap();
+        assert_eq!(r.memory.get(out, 0), Value::Float(1.0));
+        assert_eq!(r.memory.get(out, 1), Value::Float(0.0)); // squashed
+        assert_eq!(r.memory.get(out, 2), Value::Float(3.0));
+        assert_eq!(r.memory.get(out, 3), Value::Float(0.0)); // squashed
+    }
+
+    #[test]
+    fn pointer_walk_reads_right_elements() {
+        let mut b = LoopBuilder::new("copy", 3);
+        let a = b.array("a", 3);
+        let c = b.array("c", 3);
+        let pa = b.ptr("pa", a, 0);
+        let pc = b.ptr("pc", c, 0);
+        let v = b.load("v", pa, Some(MemRef::new(a, 0, 1)));
+        b.store(pc, v, Some(MemRef::new(c, 0, 1)));
+        b.addr_add(pa, pa, 1);
+        b.addr_add(pc, pc, 1);
+        let body = b.finish().unwrap();
+        let mut img = MemoryImage::for_body(&body);
+        for i in 0..3 {
+            img.set(ArrayId(0), i, Value::Int(10 + i as i64));
+        }
+        let r = run_sequential(&body, img).unwrap();
+        for i in 0..3 {
+            assert_eq!(r.memory.get(ArrayId(1), i), Value::Int(10 + i as i64));
+        }
+    }
+
+    #[test]
+    fn unwritten_read_is_an_error() {
+        let mut b = LoopBuilder::new("bad", 2);
+        // A register that is defined later in the body (distance 1 use)
+        // with no live-in: iteration 0 reads nothing.
+        let x = b.fresh("x");
+        let _y = b.copy("y", x);
+        b.rebind(x, Opcode::Copy, vec![Operand::ImmInt(1)]);
+        let body = b.finish().unwrap();
+        let err = run_sequential(&body, MemoryImage::for_body(&body)).unwrap_err();
+        assert!(matches!(err, SimError::UnwrittenRead { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_load_is_an_error() {
+        let mut b = LoopBuilder::new("oob", 4);
+        let a = b.array("a", 2); // too small for 4 iterations
+        let pa = b.ptr("pa", a, 0);
+        let _v = b.load("v", pa, Some(MemRef::new(a, 0, 1)));
+        b.addr_add(pa, pa, 1);
+        let body = b.finish().unwrap();
+        let err = run_sequential(&body, MemoryImage::for_body(&body)).unwrap_err();
+        assert!(matches!(err, SimError::BadAddress { .. }));
+    }
+}

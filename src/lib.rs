@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # ims — Iterative Modulo Scheduling
+//!
+//! A from-scratch Rust implementation of B. Ramakrishna Rau's *"Iterative
+//! Modulo Scheduling: An Algorithm For Software Pipelining Loops"*
+//! (MICRO-27, 1994), together with every substrate the paper depends on:
+//!
+//! * a loop intermediate representation ([`ir`]),
+//! * a machine model with reservation tables ([`machine`]),
+//! * dependence-graph algorithms — SCCs, circuits, MinDist ([`graph`]),
+//! * dependence analysis from IR to a schedulable graph ([`deps`]),
+//! * the iterative modulo scheduler itself, with MII bounds ([`core`]),
+//! * post-scheduling code generation — modulo variable expansion, kernel
+//!   unrolling, prologue/epilogue ([`codegen`]),
+//! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
+//! * a benchmark-loop corpus generator ([`loopgen`]), and
+//! * the statistics toolkit used by the evaluation harness ([`stats`]).
+//!
+//! This facade crate re-exports all of them under one roof. Downstream users
+//! can either depend on `ims` or on the individual `ims-*` crates.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use ims_codegen as codegen;
+pub use ims_core as core;
+pub use ims_deps as deps;
+pub use ims_graph as graph;
+pub use ims_ir as ir;
+pub use ims_loopgen as loopgen;
+pub use ims_machine as machine;
+pub use ims_stats as stats;
+pub use ims_vliw as vliw;

@@ -1,0 +1,62 @@
+//! API-contract checks: the public types behave the way a downstream user
+//! expects (thread-safety, trait implementations, determinism).
+
+use ims::core::{Counters, MiiInfo, SchedConfig, SchedOutcome, Schedule};
+use ims::graph::{DepGraph, MinDist};
+use ims::ir::{LoopBody, Value};
+use ims::machine::MachineModel;
+use ims::vliw::MemoryImage;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn key_types_are_send_and_sync() {
+    assert_send_sync::<LoopBody>();
+    assert_send_sync::<MachineModel>();
+    assert_send_sync::<DepGraph>();
+    assert_send_sync::<MinDist>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<SchedOutcome>();
+    assert_send_sync::<SchedConfig>();
+    assert_send_sync::<MiiInfo>();
+    assert_send_sync::<Counters>();
+    assert_send_sync::<MemoryImage>();
+    assert_send_sync::<Value>();
+}
+
+#[test]
+fn corpus_runs_are_parallelizable() {
+    // The whole measurement pipeline is shared-state-free: running loops
+    // from several threads must give the same results as serially.
+    use ims::deps::{build_problem, BuildOptions};
+    use ims::loopgen::corpus_of_size;
+    use ims::machine::cydra;
+    use ims::core::modulo_schedule;
+
+    let corpus = corpus_of_size(3, 24);
+    let machine = cydra();
+    let serial: Vec<i64> = corpus
+        .loops
+        .iter()
+        .map(|l| {
+            let p = build_problem(&l.body, &machine, &BuildOptions::default());
+            modulo_schedule(&p, &SchedConfig::default()).unwrap().schedule.ii
+        })
+        .collect();
+
+    let parallel: Vec<i64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = corpus
+            .loops
+            .iter()
+            .map(|l| {
+                let machine = &machine;
+                scope.spawn(move || {
+                    let p = build_problem(&l.body, machine, &BuildOptions::default());
+                    modulo_schedule(&p, &SchedConfig::default()).unwrap().schedule.ii
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(serial, parallel);
+}

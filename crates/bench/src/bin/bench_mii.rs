@@ -1,0 +1,13 @@
+//! Std-only MII/priority micro-benchmarks (replaces the former Criterion
+//! `mii` bench). Prints one JSON line per scenario to stdout;
+//! redirect-append to a `BENCH_mii.json` file to accumulate a trajectory.
+//! `IMS_BENCH_WARMUP` / `IMS_BENCH_ITERS` tune the iteration plan
+//! (defaults 3 / 30).
+
+use ims_bench::micro::{mii_benches, spec_from_env};
+
+fn main() {
+    for line in mii_benches(&spec_from_env()) {
+        println!("{line}");
+    }
+}

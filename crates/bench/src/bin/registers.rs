@@ -1,8 +1,8 @@
 //! Register requirements of modulo-scheduled loops (extension).
 //!
 //! The paper defers register allocation to its companion work (Rau et al.,
-//! "Register allocation for software pipelined loops", cited as [35], and
-//! Huff's lifetime-sensitive scheduling [18]), but the quantities involved
+//! "Register allocation for software pipelined loops", cited as \[35\], and
+//! Huff's lifetime-sensitive scheduling \[18\]), but the quantities involved
 //! fall out of this implementation directly: per-value lifetimes under the
 //! achieved schedule, the kernel-unroll factor modulo variable expansion
 //! needs on a machine without rotating registers, and the rotating-file

@@ -15,6 +15,8 @@
 //! | `ablation` | beyond-the-paper ablations: simple vs. complex reservation tables, VLIW vs. conservative delay model, MinDist vs. circuit-enumeration RecMII |
 //! | `unroll_comparison` | the §4.3 baseline: unroll-before-scheduling vs. modulo scheduling |
 //! | `registers` | register-pressure extension: MVE unroll factors and rotating-file sizes |
+//! | `bench_scheduler` | std-only micro-benchmarks of the full scheduling pipeline ([`micro`]) |
+//! | `bench_mii` | std-only micro-benchmarks of the MII bounds and HeightR ([`micro`]) |
 //!
 //! This library holds the shared machinery: [`measure_corpus`] runs the
 //! modulo scheduler over a corpus and collects, per loop, every quantity
@@ -27,6 +29,8 @@ use ims_deps::{back_substitute, build_problem, BuildOptions};
 use ims_graph::sccs;
 use ims_loopgen::{Corpus, CorpusLoop, Profile};
 use ims_machine::MachineModel;
+
+pub mod micro;
 
 /// Everything the paper measures about one scheduled loop.
 #[derive(Debug, Clone)]

@@ -26,6 +26,12 @@ pub struct Counters {
     /// Iterative scheduling, part 2: candidate time slots examined in
     /// `FindTimeSlot` (the paper's `0.0587·N² + 0.2001·N + 0.5` fit).
     pub findslot_iters: u64,
+    /// Iterative scheduling, part 3: operations displaced (unscheduled) by
+    /// the §3.4 eviction policy — both resource-conflict evictions on
+    /// forced placement and dependence-violation evictions of successors.
+    /// Zero when every operation is scheduled exactly once (§4.3 reports
+    /// that happens for 90% of the paper's loops).
+    pub evictions: u64,
 }
 
 impl Counters {
@@ -42,6 +48,7 @@ impl Counters {
         self.heightr_work += other.heightr_work;
         self.estart_preds += other.estart_preds;
         self.findslot_iters += other.findslot_iters;
+        self.evictions += other.evictions;
     }
 }
 
@@ -58,6 +65,7 @@ mod tests {
             heightr_work: 4,
             estart_preds: 5,
             findslot_iters: 6,
+            evictions: 7,
         };
         let mut b = a;
         b.add(&a);
@@ -70,6 +78,7 @@ mod tests {
                 heightr_work: 8,
                 estart_preds: 10,
                 findslot_iters: 12,
+                evictions: 14,
             }
         );
     }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Iterative modulo scheduling — the core algorithm of the paper.
 //!

@@ -150,6 +150,31 @@ pub fn rec_mii_by_circuits(problem: &Problem<'_>, max_circuits: usize) -> Option
 
 /// Computes all three bounds of §2: ResMII, RecMII (seeded with the ResMII,
 /// as the paper recommends for a production compiler), and their maximum.
+///
+/// # Example
+///
+/// Two operations on a single-unit machine give ResMII 2; a loop-carried
+/// cycle with total delay 2 and distance 1 gives RecMII 2:
+///
+/// ```
+/// use ims_core::{compute_mii, Counters, ProblemBuilder};
+/// use ims_graph::DepKind;
+/// use ims_ir::{OpId, Opcode};
+/// use ims_machine::minimal;
+///
+/// let machine = minimal();
+/// let mut pb = ProblemBuilder::new(&machine);
+/// let a = pb.add_op(Opcode::Add, OpId(0));
+/// let b = pb.add_op(Opcode::Add, OpId(1));
+/// pb.add_dep(a, b, 1, 0, DepKind::Flow, false); // same iteration
+/// pb.add_dep(b, a, 1, 1, DepKind::Flow, false); // next iteration
+/// let problem = pb.finish();
+///
+/// let mii = compute_mii(&problem, &mut Counters::new());
+/// assert_eq!(mii.res_mii, 2); // two ops share one unit
+/// assert_eq!(mii.rec_mii, 2); // ceil(delay 2 / distance 1)
+/// assert_eq!(mii.mii, 2);
+/// ```
 pub fn compute_mii(problem: &Problem<'_>, counters: &mut Counters) -> MiiInfo {
     let res = res_mii(problem, counters);
     let combined = rec_mii(problem, res, counters);

@@ -10,6 +10,25 @@ use ims_machine::ReservationTable;
 
 /// A modulo reservation table: `II × num_resources` slots, each holding the
 /// node currently reserving it (if any).
+///
+/// # Example
+///
+/// A reservation at time `T` blocks every time congruent to `T` modulo the
+/// II — the property that makes the table II rows long (§3.1):
+///
+/// ```
+/// use ims_core::Mrt;
+/// use ims_graph::NodeId;
+/// use ims_machine::{ReservationTable, ResourceId};
+///
+/// let mut mrt = Mrt::new(3, 1);
+/// let table = ReservationTable::new(vec![(ResourceId(0), 0)]);
+/// mrt.place(NodeId(1), &table, 1);
+/// assert!(mrt.conflicts(&table, 4)); // 4 ≡ 1 (mod 3)
+/// assert!(!mrt.conflicts(&table, 2));
+/// mrt.remove(NodeId(1), &table, 1);
+/// assert!(!mrt.conflicts(&table, 4));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mrt {
     ii: i64,

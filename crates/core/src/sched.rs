@@ -179,6 +179,26 @@ impl std::error::Error for SchedError {}
 /// Figure 2: compute the MII, then try `IterativeSchedule` at II = MII,
 /// MII+1, … until a schedule is found.
 ///
+/// # Example
+///
+/// ```
+/// use ims_core::{modulo_schedule, validate_schedule, ProblemBuilder, SchedConfig};
+/// use ims_graph::DepKind;
+/// use ims_ir::{OpId, Opcode};
+/// use ims_machine::minimal;
+///
+/// let machine = minimal();
+/// let mut pb = ProblemBuilder::new(&machine);
+/// let a = pb.add_op(Opcode::Add, OpId(0));
+/// let b = pb.add_op(Opcode::Mul, OpId(1));
+/// pb.add_dep(a, b, 1, 0, DepKind::Flow, false);
+/// let problem = pb.finish();
+///
+/// let out = modulo_schedule(&problem, &SchedConfig::default()).unwrap();
+/// assert!(out.schedule.ii >= out.mii.mii);
+/// assert!(validate_schedule(&problem, &out.schedule).is_ok());
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`SchedError::IiCapExceeded`] if no schedule is found up to the
@@ -372,6 +392,7 @@ pub fn iterative_schedule_with(
                                 &mut mrt,
                                 &alternative,
                                 &mut unscheduled,
+                                counters,
                             );
                         }
                     }
@@ -403,6 +424,7 @@ pub fn iterative_schedule_with(
                         &mut mrt,
                         &alternative,
                         &mut unscheduled,
+                        counters,
                     );
                 }
             }
@@ -432,7 +454,9 @@ fn unschedule(
     mrt: &mut Mrt,
     alternative: &[usize],
     unscheduled: &mut usize,
+    counters: &mut Counters,
 ) {
+    counters.evictions += 1;
     let t = time[victim.index()]
         .take()
         .expect("only scheduled operations are displaced");

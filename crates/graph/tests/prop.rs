@@ -1,30 +1,32 @@
-//! Property tests for the graph algorithms.
+//! Property tests for the graph algorithms, on the in-repo
+//! [`ims_testkit::prop`] harness.
 
 use ims_graph::{compute_min_dist, elementary_circuits, sccs, DepGraph, DepKind, NodeId, NEG_INF};
-use proptest::prelude::*;
+use ims_testkit::{check, prop_assert, prop_assert_eq, prop_assume, Gen, PropConfig};
 
-/// A random small dependence graph: node count plus edge list.
-fn graph_strategy() -> impl Strategy<Value = DepGraph> {
-    (2usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(
-            (0..n, 0..n, 0i64..8, 0u32..3),
-            0..20,
+/// Generates a random small dependence graph: node count plus edge list.
+fn gen_graph(g: &mut Gen) -> DepGraph {
+    let n = g.usize_in(2, 10);
+    let edges = g.vec_with(20, |g| {
+        (
+            g.usize_in(0, n),
+            g.usize_in(0, n),
+            g.i64_in(0, 8),
+            g.u32_in(0, 3),
         )
-        .prop_map(move |edges| {
-            let mut g = DepGraph::with_nodes(n);
-            for (from, to, delay, distance) in edges {
-                g.add_edge(
-                    NodeId(from as u32),
-                    NodeId(to as u32),
-                    delay,
-                    distance,
-                    DepKind::Flow,
-                    false,
-                );
-            }
-            g
-        })
-    })
+    });
+    let mut graph = DepGraph::with_nodes(n);
+    for (from, to, delay, distance) in edges {
+        graph.add_edge(
+            NodeId(from as u32),
+            NodeId(to as u32),
+            delay,
+            distance,
+            DepKind::Flow,
+            false,
+        );
+    }
+    graph
 }
 
 /// Brute-force reachability for SCC cross-checking.
@@ -45,101 +47,140 @@ fn reachable(g: &DepGraph, from: NodeId, to: NodeId) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn scc_matches_mutual_reachability(g in graph_strategy()) {
-        let mut w = 0;
-        let info = sccs(&g, &mut w);
-        for a in g.nodes() {
-            for b in g.nodes() {
-                let same = info.component_of[a.index()] == info.component_of[b.index()];
-                let mutual = a == b
-                    || (reachable(&g, a, b) && reachable(&g, b, a));
-                prop_assert_eq!(same, mutual, "{} vs {}", a, b);
-            }
-        }
-    }
-
-    #[test]
-    fn min_dist_feasibility_is_monotone_in_ii(g in graph_strategy()) {
-        let nodes: Vec<NodeId> = g.nodes().collect();
-        let mut w = 0;
-        let mut prev_feasible = false;
-        for ii in 1..=12 {
-            let feasible = compute_min_dist(&g, &nodes, ii, &mut w).feasible();
-            // Once feasible, larger IIs stay feasible (weights only shrink).
-            if prev_feasible {
-                prop_assert!(feasible, "feasibility regressed at II {ii}");
-            }
-            prev_feasible = feasible;
-        }
-    }
-
-    #[test]
-    fn min_dist_respects_single_edges(g in graph_strategy()) {
-        let nodes: Vec<NodeId> = g.nodes().collect();
-        let mut w = 0;
-        let ii = 20; // Large enough to be feasible for delays < 8.
-        let md = compute_min_dist(&g, &nodes, ii, &mut w);
-        for e in g.edges() {
-            if e.from == e.to {
-                continue;
-            }
-            let bound = e.delay - ii * e.distance as i64;
-            prop_assert!(
-                md.get(e.from, e.to) >= bound,
-                "edge {} -> {} bound {bound}",
-                e.from,
-                e.to
-            );
-        }
-    }
-
-    #[test]
-    fn min_dist_is_max_plus_transitive(g in graph_strategy()) {
-        let nodes: Vec<NodeId> = g.nodes().collect();
-        let mut w = 0;
-        let md = compute_min_dist(&g, &nodes, 20, &mut w);
-        if !md.feasible() {
-            return Ok(());
-        }
-        for a in g.nodes() {
-            for b in g.nodes() {
-                for c in g.nodes() {
-                    let ab = md.get(a, b);
-                    let bc = md.get(b, c);
-                    if ab == NEG_INF || bc == NEG_INF {
-                        continue;
-                    }
-                    prop_assert!(
-                        md.get(a, c) >= ab + bc,
-                        "triangle violated at {} {} {}",
-                        a,
-                        b,
-                        c
-                    );
+#[test]
+fn scc_matches_mutual_reachability() {
+    check(
+        "scc_matches_mutual_reachability",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_graph,
+        |g| {
+            let mut w = 0;
+            let info = sccs(g, &mut w);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    let same = info.component_of[a.index()] == info.component_of[b.index()];
+                    let mutual = a == b || (reachable(g, a, b) && reachable(g, b, a));
+                    prop_assert_eq!(same, mutual, "{} vs {}", a, b);
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn circuit_min_ii_matches_min_dist_threshold(g in graph_strategy()) {
-        // Drop zero-distance cycles (illegal dependence graphs).
-        let nodes: Vec<NodeId> = g.nodes().collect();
-        let (circuits, complete) = elementary_circuits(&g, 50_000);
-        prop_assume!(complete);
-        prop_assume!(circuits.iter().all(|c| c.distance > 0));
-        let by_circuits = circuits.iter().map(|c| c.min_ii()).max().unwrap_or(0).max(1);
-        // The smallest II at which MinDist is feasible must equal it.
-        let mut w = 0;
-        let mut by_mindist = 1;
-        while !compute_min_dist(&g, &nodes, by_mindist, &mut w).feasible() {
-            by_mindist += 1;
-            prop_assert!(by_mindist < 100, "runaway search");
-        }
-        prop_assert_eq!(by_mindist, by_circuits.max(1));
-    }
+#[test]
+fn min_dist_feasibility_is_monotone_in_ii() {
+    check(
+        "min_dist_feasibility_is_monotone_in_ii",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_graph,
+        |g| {
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let mut w = 0;
+            let mut prev_feasible = false;
+            for ii in 1..=12 {
+                let feasible = compute_min_dist(g, &nodes, ii, &mut w).feasible();
+                // Once feasible, larger IIs stay feasible (weights only
+                // shrink).
+                if prev_feasible {
+                    prop_assert!(feasible, "feasibility regressed at II {ii}");
+                }
+                prev_feasible = feasible;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn min_dist_respects_single_edges() {
+    check(
+        "min_dist_respects_single_edges",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_graph,
+        |g| {
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let mut w = 0;
+            let ii = 20; // Large enough to be feasible for delays < 8.
+            let md = compute_min_dist(g, &nodes, ii, &mut w);
+            for e in g.edges() {
+                if e.from == e.to {
+                    continue;
+                }
+                let bound = e.delay - ii * e.distance as i64;
+                prop_assert!(
+                    md.get(e.from, e.to) >= bound,
+                    "edge {} -> {} bound {bound}",
+                    e.from,
+                    e.to
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn min_dist_is_max_plus_transitive() {
+    check(
+        "min_dist_is_max_plus_transitive",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_graph,
+        |g| {
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let mut w = 0;
+            let md = compute_min_dist(g, &nodes, 20, &mut w);
+            prop_assume!(md.feasible());
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    for c in g.nodes() {
+                        let ab = md.get(a, b);
+                        let bc = md.get(b, c);
+                        if ab == NEG_INF || bc == NEG_INF {
+                            continue;
+                        }
+                        prop_assert!(
+                            md.get(a, c) >= ab + bc,
+                            "triangle violated at {} {} {}",
+                            a,
+                            b,
+                            c
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn circuit_min_ii_matches_min_dist_threshold() {
+    check(
+        "circuit_min_ii_matches_min_dist_threshold",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_graph,
+        |g| {
+            // Drop zero-distance cycles (illegal dependence graphs).
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let (circuits, complete) = elementary_circuits(g, 50_000);
+            prop_assume!(complete);
+            prop_assume!(circuits.iter().all(|c| c.distance > 0));
+            let by_circuits = circuits.iter().map(|c| c.min_ii()).max().unwrap_or(0).max(1);
+            // The smallest II at which MinDist is feasible must equal it.
+            let mut w = 0;
+            let mut by_mindist = 1;
+            while !compute_min_dist(g, &nodes, by_mindist, &mut w).feasible() {
+                by_mindist += 1;
+                prop_assert!(by_mindist < 100, "runaway search");
+            }
+            prop_assert_eq!(by_mindist, by_circuits.max(1));
+            Ok(())
+        },
+    );
 }

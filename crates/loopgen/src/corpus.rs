@@ -1,8 +1,7 @@
 //! Assembly of the full substitute corpus.
 
 use ims_ir::LoopBody;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ims_testkit::{Rng, Xoshiro256};
 
 use crate::kernels::kernels;
 use crate::synth::{generate_loop, SynthConfig};
@@ -124,7 +123,7 @@ pub fn paper_corpus(seed: u64) -> Corpus {
 /// Builds a corpus of the given size (hand kernels first; at least as many
 /// loops as kernels are produced).
 pub fn corpus_of_size(seed: u64, size: usize) -> Corpus {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut loops = Vec::with_capacity(size);
     for k in kernels(64) {
         loops.push(CorpusLoop {

@@ -9,7 +9,7 @@
 //! [`crate::corpus::paper_corpus`].
 
 use ims_ir::{LoopBody, LoopBuilder, MemRef, Opcode, Operand, Value, VReg};
-use rand::Rng;
+use ims_testkit::Rng;
 
 /// Shape parameters for one synthetic loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,12 +139,11 @@ pub fn generate_loop<R: Rng>(rng: &mut R, config: &SynthConfig) -> LoopBody {
 mod tests {
     use super::*;
     use ims_ir::validate::validate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ims_testkit::Xoshiro256;
 
     #[test]
     fn generated_bodies_validate() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256::seed_from_u64(7);
         for i in 0..50 {
             let cfg = SynthConfig {
                 ops_target: 4 + (i % 40),
@@ -163,16 +162,16 @@ mod tests {
             recurrences: vec![3],
             with_branch: true,
         };
-        let a = generate_loop(&mut StdRng::seed_from_u64(42), &cfg);
-        let b = generate_loop(&mut StdRng::seed_from_u64(42), &cfg);
+        let a = generate_loop(&mut Xoshiro256::seed_from_u64(42), &cfg);
+        let b = generate_loop(&mut Xoshiro256::seed_from_u64(42), &cfg);
         assert_eq!(a, b);
-        let c = generate_loop(&mut StdRng::seed_from_u64(43), &cfg);
+        let c = generate_loop(&mut Xoshiro256::seed_from_u64(43), &cfg);
         assert_ne!(a, c, "different seeds should give different loops");
     }
 
     #[test]
     fn op_count_tracks_target() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         for target in [6usize, 12, 30, 80, 160] {
             let cfg = SynthConfig {
                 ops_target: target,
@@ -196,7 +195,7 @@ mod tests {
             recurrences: vec![4],
             with_branch: false,
         };
-        let body = generate_loop(&mut StdRng::seed_from_u64(5), &cfg);
+        let body = generate_loop(&mut Xoshiro256::seed_from_u64(5), &cfg);
         // At least one register is both defined and used before its
         // definition (the accumulator).
         assert!(validate(&body).is_ok());
@@ -212,6 +211,6 @@ mod tests {
             recurrences: vec![1],
             with_branch: false,
         };
-        let _ = generate_loop(&mut StdRng::seed_from_u64(0), &cfg);
+        let _ = generate_loop(&mut Xoshiro256::seed_from_u64(0), &cfg);
     }
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Canonical hermetic verification: build, test, and document the whole
+# workspace with the network disabled. Run from the repository root.
+#
+# The workspace has no external dependencies — a bare Rust toolchain and an
+# empty registry cache are enough for every step below to succeed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo doc --no-deps --offline (warnings are errors)"
+doc_log=$(mktemp)
+trap 'rm -f "$doc_log"' EXIT
+cargo doc --no-deps --offline --workspace 2>&1 | tee "$doc_log"
+if grep -q "^warning" "$doc_log"; then
+    echo "FAIL: rustdoc emitted warnings" >&2
+    exit 1
+fi
+
+echo "OK: build, tests, and docs all clean offline"

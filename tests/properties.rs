@@ -1,4 +1,5 @@
-//! Property-based tests over randomly generated loops.
+//! Property-based tests over randomly generated loops, on the in-repo
+//! [`ims_testkit::prop`] harness.
 //!
 //! Every generated loop must: schedule at some II ≥ MII; produce a schedule
 //! that passes the independent validator; have HeightR consistent with
@@ -13,112 +14,151 @@ use ims::deps::{back_substitute, build_problem, BuildOptions};
 use ims::graph::compute_min_dist;
 use ims::loopgen::{generate_loop, SynthConfig};
 use ims::machine::{cydra, cydra_simple, wide};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ims_testkit::{check, prop_assert, prop_assert_eq, Gen, PropConfig, Xoshiro256};
 
-/// Strategy: a synthetic-loop configuration plus a generator seed.
-fn loop_strategy() -> impl Strategy<Value = (u64, SynthConfig)> {
-    (
-        any::<u64>(),
-        4usize..60,
-        prop::collection::vec(2usize..6, 0..3),
-        any::<bool>(),
-    )
-        .prop_map(|(seed, ops_target, recurrences, with_branch)| {
-            (
-                seed,
-                SynthConfig {
-                    ops_target,
-                    recurrences,
-                    with_branch,
-                },
-            )
-        })
+/// A synthetic-loop configuration plus a generator seed.
+fn gen_loop(g: &mut Gen) -> (u64, SynthConfig) {
+    let seed = g.u64();
+    let cfg = SynthConfig {
+        ops_target: g.usize_in(4, 60),
+        recurrences: g.vec_with(2, |g| g.usize_in(2, 6)),
+        with_branch: g.bool(),
+    };
+    (seed, cfg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_generated_loop_schedules_and_validates((seed, cfg) in loop_strategy()) {
-        let body = generate_loop(&mut StdRng::seed_from_u64(seed), &cfg);
-        let machine = cydra();
-        let body = back_substitute(&body, &machine);
-        let problem = build_problem(&body, &machine, &BuildOptions::default());
-        let out = modulo_schedule(&problem, &SchedConfig::default()).expect("schedules");
-        prop_assert!(out.schedule.ii >= out.mii.mii);
-        prop_assert!(validate_schedule(&problem, &out.schedule).is_ok());
-        // Every operation issues within the schedule length.
-        for node in problem.op_nodes() {
-            prop_assert!(out.schedule.time_of(node) <= out.schedule.length);
-        }
-    }
-
-    #[test]
-    fn height_r_equals_min_dist_to_stop((seed, cfg) in loop_strategy()) {
-        let body = generate_loop(&mut StdRng::seed_from_u64(seed), &cfg);
-        let machine = cydra_simple();
-        let problem = build_problem(&body, &machine, &BuildOptions::default());
-        let mut c = Counters::new();
-        let ii = rec_mii(&problem, 1, &mut c).max(1);
-        let heights = height_r(&problem, ii, &mut c);
-        let nodes: Vec<_> = problem.graph().nodes().collect();
-        let mut w = 0u64;
-        let md = compute_min_dist(problem.graph(), &nodes, ii, &mut w);
-        for node in problem.graph().nodes() {
-            if node == problem.stop() {
-                continue;
+#[test]
+fn every_generated_loop_schedules_and_validates() {
+    check(
+        "every_generated_loop_schedules_and_validates",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let body = back_substitute(&body, &machine);
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let out = modulo_schedule(&problem, &SchedConfig::default()).expect("schedules");
+            prop_assert!(out.schedule.ii >= out.mii.mii);
+            prop_assert!(validate_schedule(&problem, &out.schedule).is_ok());
+            // Every operation issues within the schedule length.
+            for node in problem.op_nodes() {
+                prop_assert!(out.schedule.time_of(node) <= out.schedule.length);
             }
-            prop_assert_eq!(heights[node.index()], md.get(node, problem.stop()));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rec_mii_methods_agree((seed, cfg) in loop_strategy()) {
-        let body = generate_loop(&mut StdRng::seed_from_u64(seed), &cfg);
-        let machine = cydra();
-        let problem = build_problem(&body, &machine, &BuildOptions::default());
-        let by_mindist = rec_mii(&problem, 1, &mut Counters::new());
-        if let Some(by_circuits) = rec_mii_by_circuits(&problem, 100_000) {
-            prop_assert_eq!(by_mindist, by_circuits);
-        }
-    }
+#[test]
+fn height_r_equals_min_dist_to_stop() {
+    check(
+        "height_r_equals_min_dist_to_stop",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra_simple();
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let mut c = Counters::new();
+            let ii = rec_mii(&problem, 1, &mut c).max(1);
+            let heights = height_r(&problem, ii, &mut c);
+            let nodes: Vec<_> = problem.graph().nodes().collect();
+            let mut w = 0u64;
+            let md = compute_min_dist(problem.graph(), &nodes, ii, &mut w);
+            for node in problem.graph().nodes() {
+                if node == problem.stop() {
+                    continue;
+                }
+                prop_assert_eq!(heights[node.index()], md.get(node, problem.stop()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn larger_budget_never_worsens_ii((seed, cfg) in loop_strategy()) {
-        let body = generate_loop(&mut StdRng::seed_from_u64(seed), &cfg);
-        let machine = cydra();
-        let problem = build_problem(&body, &machine, &BuildOptions::default());
-        let tight = modulo_schedule(&problem, &SchedConfig::with_budget_ratio(1.0))
-            .expect("schedules");
-        let loose = modulo_schedule(&problem, &SchedConfig::with_budget_ratio(8.0))
-            .expect("schedules");
-        prop_assert!(loose.schedule.ii <= tight.schedule.ii);
-    }
+#[test]
+fn rec_mii_methods_agree() {
+    check(
+        "rec_mii_methods_agree",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let by_mindist = rec_mii(&problem, 1, &mut Counters::new());
+            if let Some(by_circuits) = rec_mii_by_circuits(&problem, 100_000) {
+                prop_assert_eq!(by_mindist, by_circuits);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn wider_machines_never_raise_the_mii((seed, cfg) in loop_strategy()) {
-        let body = generate_loop(&mut StdRng::seed_from_u64(seed), &cfg);
-        let narrow = wide(2);
-        let wide_m = wide(6);
-        let p_narrow = build_problem(&body, &narrow, &BuildOptions::default());
-        let p_wide = build_problem(&body, &wide_m, &BuildOptions::default());
-        let mii_narrow = ims::core::compute_mii(&p_narrow, &mut Counters::new());
-        let mii_wide = ims::core::compute_mii(&p_wide, &mut Counters::new());
-        prop_assert!(mii_wide.mii <= mii_narrow.mii);
-        prop_assert!(mii_wide.res_mii <= mii_narrow.res_mii);
-    }
+#[test]
+fn larger_budget_never_worsens_ii() {
+    check(
+        "larger_budget_never_worsens_ii",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let tight =
+                modulo_schedule(&problem, &SchedConfig::with_budget_ratio(1.0)).expect("schedules");
+            let loose =
+                modulo_schedule(&problem, &SchedConfig::with_budget_ratio(8.0)).expect("schedules");
+            prop_assert!(loose.schedule.ii <= tight.schedule.ii);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn back_substitution_never_raises_the_mii((seed, cfg) in loop_strategy()) {
-        let body = generate_loop(&mut StdRng::seed_from_u64(seed), &cfg);
-        let machine = cydra();
-        let raw = build_problem(&body, &machine, &BuildOptions::default());
-        let bs_body = back_substitute(&body, &machine);
-        let bs = build_problem(&bs_body, &machine, &BuildOptions::default());
-        let raw_mii = ims::core::compute_mii(&raw, &mut Counters::new());
-        let bs_mii = ims::core::compute_mii(&bs, &mut Counters::new());
-        prop_assert!(bs_mii.mii <= raw_mii.mii, "{} > {}", bs_mii.mii, raw_mii.mii);
-    }
+#[test]
+fn wider_machines_never_raise_the_mii() {
+    check(
+        "wider_machines_never_raise_the_mii",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let narrow = wide(2);
+            let wide_m = wide(6);
+            let p_narrow = build_problem(&body, &narrow, &BuildOptions::default());
+            let p_wide = build_problem(&body, &wide_m, &BuildOptions::default());
+            let mii_narrow = ims::core::compute_mii(&p_narrow, &mut Counters::new());
+            let mii_wide = ims::core::compute_mii(&p_wide, &mut Counters::new());
+            prop_assert!(mii_wide.mii <= mii_narrow.mii);
+            prop_assert!(mii_wide.res_mii <= mii_narrow.res_mii);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn back_substitution_never_raises_the_mii() {
+    check(
+        "back_substitution_never_raises_the_mii",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let raw = build_problem(&body, &machine, &BuildOptions::default());
+            let bs_body = back_substitute(&body, &machine);
+            let bs = build_problem(&bs_body, &machine, &BuildOptions::default());
+            let raw_mii = ims::core::compute_mii(&raw, &mut Counters::new());
+            let bs_mii = ims::core::compute_mii(&bs, &mut Counters::new());
+            prop_assert!(bs_mii.mii <= raw_mii.mii, "{} > {}", bs_mii.mii, raw_mii.mii);
+            Ok(())
+        },
+    );
 }

@@ -11,7 +11,8 @@
 //!    up on dense recurrence structures, which is why the paper uses the
 //!    MinDist formulation.
 
-use ims_bench::measure_corpus;
+use ims_bench::measure_corpus_threads;
+use ims_bench::pool::threads_from_args;
 use ims_core::{
     modulo_schedule, rec_mii, rec_mii_by_circuits, Counters, PriorityKind, SchedConfig,
 };
@@ -22,11 +23,12 @@ use ims_stats::table::{num, Table};
 
 fn main() {
     let corpus = corpus_of_size(0xC4D5, 400);
+    let threads = threads_from_args();
     println!("Ablations over {} corpus loops\n", corpus.len());
 
     // ----- 1. Complex vs simple reservation tables -----
-    let complex = measure_corpus(&corpus, &cydra(), 6.0);
-    let simple = measure_corpus(&corpus, &cydra_simple(), 6.0);
+    let complex = measure_corpus_threads(&corpus, &cydra(), 6.0, threads);
+    let simple = measure_corpus_threads(&corpus, &cydra_simple(), 6.0, threads);
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let ineff = |ms: &[ims_bench::LoopMeasurement]| {
         let steps: u64 = ms.iter().map(|m| m.total_steps).sum();

@@ -4,10 +4,14 @@
 //! trajectory. `IMS_BENCH_WARMUP` / `IMS_BENCH_ITERS` tune the iteration
 //! plan (defaults 3 / 30).
 
-use ims_bench::micro::{scheduler_benches, spec_from_env};
+use ims_bench::micro::{corpus_scaling_benches, scheduler_benches, spec_from_env};
 
 fn main() {
-    for line in scheduler_benches(&spec_from_env()) {
+    let spec = spec_from_env();
+    for line in scheduler_benches(&spec) {
+        println!("{line}");
+    }
+    for line in corpus_scaling_benches(&spec) {
         println!("{line}");
     }
 }

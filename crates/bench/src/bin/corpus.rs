@@ -1,0 +1,59 @@
+//! The parallel corpus-scheduling driver.
+//!
+//! Schedules an entire corpus across a worker pool and emits one
+//! deterministic JSON line per loop (plus one aggregate line) on stdout.
+//! The stdout stream is **byte-identical for every `--threads` value** —
+//! only the stderr timing summary differs — which `scripts/verify.sh`
+//! checks on every run.
+//!
+//! ```text
+//! corpus [--seed H] [--loops N] [--budget R] [--threads T]
+//! ```
+//!
+//! Defaults: the paper's 1327-loop corpus at seed `0xC4D5`, BudgetRatio 6,
+//! one worker per available core.
+
+use ims_bench::pool::{default_threads, parse_threads};
+use ims_bench::{corpus_jsonl, measure_corpus_threads};
+use ims_loopgen::corpus_of_size;
+use ims_machine::cydra;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            if let Ok(v) = v.parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = flag(&args, "--seed", 0xC4D5);
+    let loops: usize = flag(&args, "--loops", 1327);
+    let budget: f64 = flag(&args, "--budget", 6.0);
+    let threads = parse_threads(&args).unwrap_or_else(default_threads);
+
+    let corpus = corpus_of_size(seed, loops);
+    let machine = cydra();
+    let t0 = std::time::Instant::now();
+    let ms = measure_corpus_threads(&corpus, &machine, budget, threads);
+    let elapsed = t0.elapsed();
+
+    print!("{}", corpus_jsonl(&ms));
+    eprintln!(
+        "scheduled {} loops in {:.1} ms on {} thread{} ({:.1} loops/ms)",
+        ms.len(),
+        elapsed.as_secs_f64() * 1e3,
+        threads,
+        if threads == 1 { "" } else { "s" },
+        ms.len() as f64 / (elapsed.as_secs_f64() * 1e3),
+    );
+}

@@ -10,7 +10,8 @@
 //! BudgetRatio ≈ 1.75–2, then creeps up; around BudgetRatio 2 both are
 //! near their minima.
 
-use ims_bench::{aggregate_figure6, measure_corpus};
+use ims_bench::pool::threads_from_args;
+use ims_bench::{aggregate_figure6, measure_corpus_threads};
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::{num, Table};
@@ -18,6 +19,7 @@ use ims_stats::table::{num, Table};
 fn main() {
     let corpus = paper_corpus(0xC4D5);
     let machine = cydra();
+    let threads = threads_from_args();
     let budgets: Vec<f64> = (4..=16).map(|i| i as f64 * 0.25).collect();
 
     println!(
@@ -32,8 +34,8 @@ fn main() {
     ]);
     let mut series = Vec::new();
     for &b in &budgets {
-        eprintln!("  BudgetRatio {b:.2} ...");
-        let ms = measure_corpus(&corpus, &machine, b);
+        eprintln!("  BudgetRatio {b:.2} ({threads} threads)...");
+        let ms = measure_corpus_threads(&corpus, &machine, b, threads);
         let (dilation, inefficiency) = aggregate_figure6(&ms);
         series.push((b, dilation, inefficiency));
         t.row(vec![num(b, 2), num(dilation, 4), num(inefficiency, 3)]);

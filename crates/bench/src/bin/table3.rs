@@ -4,7 +4,8 @@
 //! The paper ran 1327 loops at BudgetRatio 6 (*"well above the largest
 //! value actually needed by any loop"*); so does this binary.
 
-use ims_bench::{measure_corpus, LoopMeasurement};
+use ims_bench::pool::threads_from_args;
+use ims_bench::{measure_corpus_threads, LoopMeasurement};
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::{num, Table};
@@ -23,8 +24,12 @@ fn row(t: &mut Table, name: &str, s: &DistributionStats) {
 
 fn main() {
     let corpus = paper_corpus(0xC4D5);
-    eprintln!("scheduling {} loops (BudgetRatio = 6)...", corpus.len());
-    let ms = measure_corpus(&corpus, &cydra(), 6.0);
+    let threads = threads_from_args();
+    eprintln!(
+        "scheduling {} loops (BudgetRatio = 6, {threads} threads)...",
+        corpus.len()
+    );
+    let ms = measure_corpus_threads(&corpus, &cydra(), 6.0, threads);
 
     let stats = |f: &dyn Fn(&LoopMeasurement) -> f64, min: f64| -> DistributionStats {
         let v: Vec<f64> = ms.iter().map(f).collect();

@@ -9,7 +9,8 @@
 //! empirically O(N) except the scheduler's slot search, which is O(N²), so
 //! iterative modulo scheduling is empirically O(N²) overall.
 
-use ims_bench::measure_corpus;
+use ims_bench::measure_corpus_threads;
+use ims_bench::pool::threads_from_args;
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::Table;
@@ -17,8 +18,12 @@ use ims_stats::{linear_fit_through_origin, polyfit};
 
 fn main() {
     let corpus = paper_corpus(0xC4D5);
-    eprintln!("scheduling {} loops (BudgetRatio = 6)...", corpus.len());
-    let ms = measure_corpus(&corpus, &cydra(), 6.0);
+    let threads = threads_from_args();
+    eprintln!(
+        "scheduling {} loops (BudgetRatio = 6, {threads} threads)...",
+        corpus.len()
+    );
+    let ms = measure_corpus_threads(&corpus, &cydra(), 6.0, threads);
 
     let ns: Vec<f64> = ms.iter().map(|m| m.n_ops as f64).collect();
     let fit1 = |ys: &[f64]| {

@@ -15,12 +15,15 @@
 //! | `ablation` | beyond-the-paper ablations: simple vs. complex reservation tables, VLIW vs. conservative delay model, MinDist vs. circuit-enumeration RecMII |
 //! | `unroll_comparison` | the §4.3 baseline: unroll-before-scheduling vs. modulo scheduling |
 //! | `registers` | register-pressure extension: MVE unroll factors and rotating-file sizes |
-//! | `bench_scheduler` | std-only micro-benchmarks of the full scheduling pipeline ([`micro`]) |
+//! | `bench_scheduler` | std-only micro-benchmarks of the full scheduling pipeline ([`micro`]), including corpus-scheduling throughput across thread counts |
 //! | `bench_mii` | std-only micro-benchmarks of the MII bounds and HeightR ([`micro`]) |
+//! | `corpus`   | the parallel corpus-scheduling driver: JSON-line per-loop results, byte-identical across `--threads` values |
 //!
-//! This library holds the shared machinery: [`measure_corpus`] runs the
-//! modulo scheduler over a corpus and collects, per loop, every quantity
-//! the paper reports.
+//! This library holds the shared machinery: [`measure_corpus_threads`]
+//! fans the modulo scheduler out over the std-only worker pool in
+//! [`pool`] and collects, per loop, every quantity the paper reports;
+//! [`corpus_jsonl`] renders a run as deterministic JSON lines. All the
+//! corpus binaries accept `--threads N` (default: one worker per core).
 
 use ims_core::{
     height_r, list_schedule, modulo_schedule, Counters, SchedConfig, SchedOutcome,
@@ -31,6 +34,7 @@ use ims_loopgen::{Corpus, CorpusLoop, Profile};
 use ims_machine::MachineModel;
 
 pub mod micro;
+pub mod pool;
 
 /// Everything the paper measures about one scheduled loop.
 #[derive(Debug, Clone)]
@@ -159,17 +163,91 @@ pub fn measure_loop(
     }
 }
 
-/// Runs the scheduler over a whole corpus.
+/// Runs the scheduler over a whole corpus, sequentially (the
+/// deterministic baseline; see [`measure_corpus_threads`]).
 pub fn measure_corpus(
     corpus: &Corpus,
     machine: &MachineModel,
     budget_ratio: f64,
 ) -> Vec<LoopMeasurement> {
-    corpus
-        .loops
-        .iter()
-        .map(|l| measure_loop(l, machine, budget_ratio))
-        .collect()
+    measure_corpus_threads(corpus, machine, budget_ratio, 1)
+}
+
+/// Runs the scheduler over a whole corpus on `threads` worker threads.
+///
+/// Each loop is an independent scheduling problem, so the corpus fans out
+/// over the std-only worker pool in [`pool`]; results come back in corpus
+/// order, so the returned measurements — and anything rendered from them,
+/// e.g. [`corpus_jsonl`] — are identical for every thread count.
+pub fn measure_corpus_threads(
+    corpus: &Corpus,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    threads: usize,
+) -> Vec<LoopMeasurement> {
+    pool::par_map(&corpus.loops, threads, |_, l| {
+        measure_loop(l, machine, budget_ratio)
+    })
+}
+
+/// Renders one corpus loop's measurement as a deterministic JSON line:
+/// every per-loop quantity the paper reports (II, ΔII, schedule length,
+/// scheduling steps, the Table 4 work counters) and nothing
+/// non-deterministic — no timings, no thread identity — so corpus runs at
+/// different thread counts produce byte-identical output.
+pub fn measurement_json_line(index: usize, m: &LoopMeasurement) -> String {
+    let c = &m.counters;
+    format!(
+        "{{\"loop\":{index},\"ops\":{},\"edges\":{},\"res_mii\":{},\"rec_mii\":{},\
+         \"mii\":{},\"ii\":{},\"delta_ii\":{},\"length\":{},\"length_lower\":{},\
+         \"final_steps\":{},\"total_steps\":{},\"scc_work\":{},\"resmii_work\":{},\
+         \"mindist_work\":{},\"heightr_work\":{},\"estart_preds\":{},\
+         \"findslot_iters\":{},\"evictions\":{}}}",
+        m.n_ops,
+        m.n_edges,
+        m.res_mii,
+        m.rec_mii,
+        m.mii,
+        m.ii,
+        m.delta_ii(),
+        m.schedule_length,
+        m.schedule_length_lower,
+        m.final_steps,
+        m.total_steps,
+        c.scc_work,
+        c.resmii_work,
+        c.mindist_work,
+        c.heightr_work,
+        c.estart_preds,
+        c.findslot_iters,
+        c.evictions,
+    )
+}
+
+/// Renders a whole corpus run as JSON lines (one line per loop, in corpus
+/// order) followed by one aggregate line summing the deterministic
+/// quantities. Byte-identical across thread counts by construction.
+pub fn corpus_jsonl(ms: &[LoopMeasurement]) -> String {
+    let mut out = String::with_capacity(ms.len() * 200);
+    let mut total = Counters::new();
+    let (mut steps, mut ops, mut delta) = (0u64, 0usize, 0i64);
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&measurement_json_line(i, m));
+        out.push('\n');
+        total.add(&m.counters);
+        steps += m.total_steps;
+        ops += m.n_ops;
+        delta += m.delta_ii();
+    }
+    out.push_str(&format!(
+        "{{\"loops\":{},\"ops\":{ops},\"total_steps\":{steps},\"sum_delta_ii\":{delta},\
+         \"mindist_work\":{},\"findslot_iters\":{},\"evictions\":{}}}\n",
+        ms.len(),
+        total.mindist_work,
+        total.findslot_iters,
+        total.evictions,
+    ));
+    out
 }
 
 /// Aggregate Figure 6 quantities over a set of measurements:

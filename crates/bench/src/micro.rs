@@ -161,6 +161,41 @@ pub fn mii_benches(spec: &BenchSpec) -> Vec<String> {
     lines
 }
 
+/// Corpus-scheduling throughput across worker-thread counts: the same
+/// 96-loop corpus slice scheduled by the [`crate::pool`] driver at 1, 2,
+/// 4, and 8 threads. Each line carries the thread count and the
+/// deterministic aggregate step/eviction counters — which must be
+/// identical on every line, the pool's determinism guarantee in bench
+/// form. Returns one JSON line per thread count.
+pub fn corpus_scaling_benches(spec: &BenchSpec) -> Vec<String> {
+    use crate::{measure_corpus_threads, LoopMeasurement};
+    use ims_loopgen::corpus_of_size;
+
+    let machine = cydra();
+    let corpus = corpus_of_size(0xC4D5, 96);
+    let mut lines = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let result = run(&format!("corpus/threads_{threads}"), *spec, || {
+            black_box(measure_corpus_threads(
+                black_box(&corpus),
+                &machine,
+                2.0,
+                threads,
+            ));
+        });
+        let ms: Vec<LoopMeasurement> = measure_corpus_threads(&corpus, &machine, 2.0, threads);
+        let steps: u64 = ms.iter().map(|m| m.total_steps).sum();
+        let evictions: u64 = ms.iter().map(|m| m.counters.evictions).sum();
+        lines.push(result.json_line(&[
+            ("threads", JsonValue::U64(threads as u64)),
+            ("loops", JsonValue::U64(ms.len() as u64)),
+            ("total_steps", JsonValue::U64(steps)),
+            ("evictions", JsonValue::U64(evictions)),
+        ]));
+    }
+    lines
+}
+
 /// Reads the iteration plan from `IMS_BENCH_WARMUP` / `IMS_BENCH_ITERS`
 /// (defaults 3 and 30), so CI and local runs can tune cost without
 /// recompiling.
@@ -193,6 +228,19 @@ mod tests {
         assert!(lines[0].contains("\"budget_steps\":"), "{}", lines[0]);
         assert!(lines[0].contains("\"evictions\":"), "{}", lines[0]);
         assert!(lines[0].contains("\"iis_attempted\":"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn corpus_scaling_benches_agree_across_thread_counts() {
+        let lines = corpus_scaling_benches(&BenchSpec::smoke());
+        assert_eq!(lines.len(), 4);
+        // The deterministic aggregates must match on every line: only the
+        // timings and the thread count may differ.
+        let tail = |l: &str| l.split("\"loops\":").nth(1).map(str::to_string);
+        let first = tail(&lines[0]).expect("loops field present");
+        for line in &lines[1..] {
+            assert_eq!(tail(line).as_ref(), Some(&first), "{line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! A std-only worker pool for corpus-scale scheduling.
+//!
+//! The paper's evaluation schedules 1,327 independent loops; nothing about
+//! one loop's schedule depends on another's, so the corpus is
+//! embarrassingly parallel. [`par_map`] fans a slice out over `threads`
+//! scoped `std::thread` workers that pull chunks off a shared atomic
+//! cursor (dynamic chunking, so a few expensive loops cannot strand a
+//! worker), and reassembles the results **in input order**. Because every
+//! result is keyed by its input index before merging, the output is
+//! byte-for-byte identical for any thread count — determinism is a
+//! property of the merge, not of the OS scheduler.
+//!
+//! No external dependencies: `std::thread::scope` + `AtomicUsize` only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many items a worker claims per visit to the shared cursor. Small
+/// enough to balance a skewed corpus (one 163-op loop costs hundreds of
+/// 4-op loops), large enough to keep cursor contention negligible.
+const CHUNK: usize = 8;
+
+/// The number of worker threads to use when the caller does not specify:
+/// [`std::thread::available_parallelism`], clamped to the pool's tested
+/// range, or 1 if the platform cannot say.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 64)
+}
+
+/// Reads a `--threads N` (or `--threads=N`) flag from the process
+/// arguments, falling back to [`default_threads`]. Shared by every corpus
+/// binary so they all accept the same flag.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    parse_threads(&args).unwrap_or_else(default_threads)
+}
+
+/// Parses `--threads N` / `--threads=N` out of an argument list.
+pub fn parse_threads(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            return it.next()?.parse().ok();
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Applies `f` to every item of `items` using `threads` worker threads and
+/// returns the results in input order.
+///
+/// With `threads <= 1` the map runs inline on the calling thread (no
+/// spawn, no atomics) — the deterministic baseline the parallel path must
+/// reproduce exactly. `f` receives `(index, &item)` so callers can key
+/// per-item state (seeds, labels) off the stable input position rather
+/// than off arrival order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if lo >= items.len() {
+                            break;
+                        }
+                        let hi = (lo + CHUNK).min(items.len());
+                        for (i, item) in items[lo..hi].iter().enumerate() {
+                            local.push((lo + i, f(lo + i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            indexed.extend(handle.join().expect("corpus worker panicked"));
+        }
+    });
+
+    // The merge re-imposes input order: output is independent of which
+    // worker computed what, and therefore of the thread count.
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_input_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..203).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..57).collect();
+        let got = par_map(&items, 4, |i, &x| (i, x));
+        for (i, &(idx, x)) in got.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u8> = vec![0; 100];
+        let _ = par_map(&items, 8, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_zero_behaves_like_one() {
+        let items: Vec<u32> = (0..10).collect();
+        assert_eq!(
+            par_map(&items, 0, |_, &x| x),
+            par_map(&items, 1, |_, &x| x)
+        );
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=64).contains(&t));
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_threads(&args(&["bin", "--threads", "4"])), Some(4));
+        assert_eq!(parse_threads(&args(&["bin", "--threads=8"])), Some(8));
+        assert_eq!(parse_threads(&args(&["bin"])), None);
+        assert_eq!(parse_threads(&args(&["bin", "--threads"])), None);
+        assert_eq!(parse_threads(&args(&["bin", "--threads", "x"])), None);
+    }
+}

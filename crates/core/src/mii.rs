@@ -4,7 +4,7 @@
 //! but *"is not necessarily an achievable lower bound"* in the face of
 //! recurrences and/or complex patterns of resource usage.
 
-use ims_graph::{compute_min_dist, elementary_circuits, sccs, NodeId, SccInfo};
+use ims_graph::{elementary_circuits, sccs, MinDistSolver, NodeId, SccInfo};
 
 use crate::counters::Counters;
 use crate::problem::Problem;
@@ -43,28 +43,46 @@ pub fn res_mii(problem: &Problem<'_>, counters: &mut Counters) -> i64 {
     });
 
     let mut usage = vec![0u64; machine.num_resources()];
+    // Incremental trial evaluation: the peak after adding an alternative is
+    // max(current peak, usage + this alternative's contribution) over the
+    // resources the alternative touches, so no per-trial clone of `usage`
+    // is needed. `delta` is scratch for duplicate resource uses within one
+    // alternative (a table may reserve the same resource at several
+    // offsets), zeroed again after each trial.
+    let mut cur_peak = 0u64;
+    let mut delta = vec![0u64; machine.num_resources()];
     for node in nodes {
         let info = problem.info(node).expect("op_nodes yields only real ops");
         // Choose the alternative minimizing the partial ResMII.
         let mut best: Option<(u64, usize)> = None;
         for (ai, alt) in info.alternatives.iter().enumerate() {
-            let mut trial = usage.clone();
+            let mut peak = cur_peak;
             for &(r, _) in alt.table.uses() {
                 counters.resmii_work += 1;
-                trial[r.index()] += 1;
+                delta[r.index()] += 1;
+                let trial = usage[r.index()] + delta[r.index()];
+                if trial > peak {
+                    peak = trial;
+                }
             }
-            let peak = trial.iter().copied().max().unwrap_or(0);
+            for &(r, _) in alt.table.uses() {
+                delta[r.index()] = 0;
+            }
             if best.is_none_or(|(bp, _)| peak < bp) {
                 best = Some((peak, ai));
             }
         }
         if let Some((_, ai)) = best {
             for &(r, _) in info.alternatives[ai].table.uses() {
-                usage[r.index()] += 1;
+                let u = &mut usage[r.index()];
+                *u += 1;
+                if *u > cur_peak {
+                    cur_peak = *u;
+                }
             }
         }
     }
-    usage.iter().copied().max().unwrap_or(0).max(1) as i64
+    cur_peak.max(1) as i64
 }
 
 /// Whether an SCC can constrain the II: it is non-trivial, or its single
@@ -95,8 +113,11 @@ pub fn rec_mii(problem: &Problem<'_>, lower: i64, counters: &mut Counters) -> i6
             continue;
         }
         let nodes = &scc_info.components[c];
-        let feasible = |ii: i64, counters: &mut Counters| {
-            compute_min_dist(problem.graph(), nodes, ii, &mut counters.mindist_work).feasible()
+        // One solver per SCC: the subset mapping and edge list are shared
+        // by every probe of the doubling and binary-search phases below.
+        let mut solver = MinDistSolver::new(problem.graph(), nodes);
+        let mut feasible = |ii: i64, counters: &mut Counters| {
+            solver.probe(ii, &mut counters.mindist_work)
         };
         if feasible(candidate, counters) {
             continue;

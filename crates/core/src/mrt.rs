@@ -71,15 +71,36 @@ impl Mrt {
     }
 
     /// The distinct nodes whose reservations collide with `table` at
-    /// `time`.
+    /// `time`, written into the caller-provided scratch buffer (cleared
+    /// first, then sorted ascending).
+    ///
+    /// This runs on the scheduler's eviction hot path for every forced
+    /// placement, so deduplication happens in place on the reused scratch:
+    /// no allocation once the buffer has grown to the (small) maximum
+    /// number of uses in a reservation table.
+    pub fn conflicting_nodes_into(
+        &self,
+        table: &ReservationTable,
+        time: i64,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        for &(r, off) in table.uses() {
+            if let Some(node) = self.slots[self.slot(time + off as i64, r.index())] {
+                if !out.contains(&node) {
+                    out.push(node);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// The distinct nodes whose reservations collide with `table` at
+    /// `time`. Convenience wrapper over [`Mrt::conflicting_nodes_into`]
+    /// that allocates a fresh buffer.
     pub fn conflicting_nodes(&self, table: &ReservationTable, time: i64) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = table
-            .uses()
-            .iter()
-            .filter_map(|&(r, off)| self.slots[self.slot(time + off as i64, r.index())])
-            .collect();
-        out.sort();
-        out.dedup();
+        let mut out = Vec::new();
+        self.conflicting_nodes_into(table, time, &mut out);
         out
     }
 
@@ -171,6 +192,28 @@ mod tests {
         let probe = table(&[(0, 0), (1, 0)]);
         assert_eq!(mrt.conflicting_nodes(&probe, 2), vec![NodeId(3)]);
         assert!(mrt.conflicting_nodes(&probe, 1).is_empty());
+    }
+
+    #[test]
+    fn conflicting_nodes_into_reuses_scratch_and_dedups_duplicate_resources() {
+        // A probe table that hits the same resource at several offsets must
+        // report each colliding owner exactly once, sorted, and leave stale
+        // scratch contents behind it.
+        let mut mrt = Mrt::new(3, 2);
+        mrt.place(NodeId(7), &table(&[(0, 0), (0, 1), (0, 2)]), 0);
+        mrt.place(NodeId(2), &table(&[(1, 0)]), 1);
+        // Resource 0 probed at three offsets (all owned by node 7) plus
+        // resource 1 at offset 1 (owned by node 2).
+        let probe = table(&[(0, 0), (0, 1), (0, 2), (1, 1)]);
+        let mut scratch = vec![NodeId(99)]; // stale content must be cleared
+        mrt.conflicting_nodes_into(&probe, 0, &mut scratch);
+        assert_eq!(scratch, vec![NodeId(2), NodeId(7)]);
+        // Reuse: a conflict-free probe empties the same buffer.
+        let free = table(&[(1, 0)]);
+        mrt.conflicting_nodes_into(&free, 0, &mut scratch);
+        assert!(scratch.is_empty());
+        // The allocating wrapper agrees.
+        assert_eq!(mrt.conflicting_nodes(&probe, 0), vec![NodeId(2), NodeId(7)]);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! `FindTimeSlot` (Figure 4) falls back to a forced slot with the
 //! forward-progress rule of §3.4.
 
+use std::collections::BinaryHeap;
+
 use ims_graph::NodeId;
 
 use crate::counters::Counters;
@@ -168,7 +170,11 @@ impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchedError::IiCapExceeded { cap, mii } => {
-                write!(f, "no modulo schedule found for II in [{mii}, {cap}]")
+                if cap < mii {
+                    write!(f, "II cap {cap} is below the MII {mii}: no candidate II admissible")
+                } else {
+                    write!(f, "no modulo schedule found for II in [{mii}, {cap}]")
+                }
             }
         }
     }
@@ -234,12 +240,19 @@ pub fn modulo_schedule(
         (ls.length + max_delay.max(max_span) + 1).max(mii.mii)
     });
 
-    let n_total = problem.graph().num_nodes() as f64;
-    let budget = (config.budget_ratio * n_total).ceil() as i64;
+    // The paper defines BudgetRatio relative to "the number of operations
+    // in the loop": real operations only, not the START/STOP
+    // pseudo-operations (whose placement is also not charged against the
+    // budget — see `iterative_schedule_with`). At least 1 so empty loops
+    // and tiny ratios still enter the scheduling loop.
+    let n_real = problem.num_ops() as f64;
+    let budget = ((config.budget_ratio * n_real).ceil() as i64).max(1);
     let mut stats = SchedStats::default();
 
+    // The cap bounds every attempt, including the first: an explicit
+    // `max_ii` below the MII means no candidate II is admissible at all.
     let mut ii = mii.mii;
-    loop {
+    while ii <= cap {
         let (result, steps) =
             iterative_schedule_with(problem, ii, budget, config.priority, &mut counters);
         let succeeded = result.is_some();
@@ -257,18 +270,18 @@ pub fn modulo_schedule(
             });
         }
         ii += 1;
-        if ii > cap {
-            stats.counters = counters;
-            return Err(SchedError::IiCapExceeded { cap, mii: mii.mii });
-        }
     }
+    stats.counters = counters;
+    Err(SchedError::IiCapExceeded { cap, mii: mii.mii })
 }
 
 /// Figure 3: one attempt at the given candidate II under the given budget.
 ///
-/// Returns the schedule (if every operation was placed before the budget
-/// ran out) and the number of operation-scheduling steps spent on real
-/// operations.
+/// The budget is a limit on *real*-operation scheduling steps, matching
+/// the paper's definition of BudgetRatio over "the number of operations in
+/// the loop"; placing the START/STOP pseudo-operations is free. Returns
+/// the schedule (if every operation was placed before the budget ran out)
+/// and the number of operation-scheduling steps spent on real operations.
 pub fn iterative_schedule(
     problem: &Problem<'_>,
     ii: i64,
@@ -276,6 +289,30 @@ pub fn iterative_schedule(
     counters: &mut Counters,
 ) -> (Option<Schedule>, u64) {
     iterative_schedule_with(problem, ii, budget, PriorityKind::HeightR, counters)
+}
+
+/// A worklist entry: max-heap by priority, ties to the smaller node id —
+/// the same total order the paper's `HighestPriorityOperation` induces.
+/// Keys are unique per node (ids are distinct), so heap pops are
+/// deterministic regardless of internal heap layout.
+#[derive(PartialEq, Eq)]
+struct Cand {
+    height: i64,
+    node: NodeId,
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.height
+            .cmp(&other.height)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// [`iterative_schedule`] with an explicit priority function (§3.2's
@@ -304,20 +341,34 @@ pub fn iterative_schedule_with(
     let mut real_steps = 0u64;
     let mut unscheduled = n; // including START until it is placed
 
-    // Schedule the START operation at time 0.
+    // Schedule the START operation at time 0. Pseudo-operations are not
+    // charged against the budget (the paper's BudgetRatio counts operation
+    // scheduling steps over the loop's real operations).
     time[start.index()] = Some(0);
     never_scheduled[start.index()] = false;
     prev_time[start.index()] = 0;
     unscheduled -= 1;
-    budget -= 1;
 
-    while unscheduled > 0 && budget > 0 {
-        // HighestPriorityOperation: maximum HeightR, ties to the smaller id.
-        let node = (0..n as u32)
-            .map(NodeId)
-            .filter(|v| time[v.index()].is_none())
-            .max_by_key(|v| (heights[v.index()], std::cmp::Reverse(v.0)))
-            .expect("unscheduled > 0 implies a candidate exists");
+    // HighestPriorityOperation as a priority-sorted worklist (§3.2): the
+    // heap holds exactly the unscheduled operations, keyed by priority with
+    // ties to the smaller id, replacing a per-step O(N) scan. Displaced
+    // operations are reinserted by `unschedule`.
+    let mut worklist: BinaryHeap<Cand> = (0..n as u32)
+        .map(NodeId)
+        .filter(|&v| v != start)
+        .map(|v| Cand {
+            height: heights[v.index()],
+            node: v,
+        })
+        .collect();
+    // Eviction scratch, reused across every forced placement.
+    let mut victims: Vec<NodeId> = Vec::new();
+
+    while unscheduled > 0 {
+        let node = worklist
+            .pop()
+            .expect("unscheduled > 0 implies a candidate exists")
+            .node;
 
         // Estart: only currently scheduled predecessors constrain the slot,
         // each term clamped at zero (Figure 5b).
@@ -339,6 +390,11 @@ pub fn iterative_schedule_with(
 
         // FindTimeSlot (Figure 4).
         let info = problem.info(node);
+        if info.is_some() && budget <= 0 {
+            // The budget covers real-operation scheduling steps only; it is
+            // spent, so this candidate II has failed.
+            return (None, real_steps);
+        }
         let slot = match info {
             None => min_time, // Pseudo-operations use no resources.
             Some(info) => {
@@ -384,7 +440,8 @@ pub fn iterative_schedule_with(
                     // "all operations are unscheduled which conflict with
                     // the use of any of the alternatives".
                     for a in &info.alternatives {
-                        for victim in mrt.conflicting_nodes(&a.table, slot) {
+                        mrt.conflicting_nodes_into(&a.table, slot, &mut victims);
+                        for &victim in &victims {
                             unschedule(
                                 problem,
                                 victim,
@@ -392,6 +449,8 @@ pub fn iterative_schedule_with(
                                 &mut mrt,
                                 &alternative,
                                 &mut unscheduled,
+                                &mut worklist,
+                                &heights,
                                 counters,
                             );
                         }
@@ -402,12 +461,12 @@ pub fn iterative_schedule_with(
             mrt.place(node, &info.alternatives[chosen].table, slot);
             alternative[node.index()] = chosen;
             real_steps += 1;
+            budget -= 1;
         }
         time[node.index()] = Some(slot);
         never_scheduled[node.index()] = false;
         prev_time[node.index()] = slot;
         unscheduled -= 1;
-        budget -= 1;
 
         // Displace scheduled immediate successors whose dependence
         // constraint the new placement violates.
@@ -424,6 +483,8 @@ pub fn iterative_schedule_with(
                         &mut mrt,
                         &alternative,
                         &mut unscheduled,
+                        &mut worklist,
+                        &heights,
                         counters,
                     );
                 }
@@ -431,9 +492,6 @@ pub fn iterative_schedule_with(
         }
     }
 
-    if unscheduled > 0 {
-        return (None, real_steps);
-    }
     let time: Vec<i64> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
     let length = time[stop.index()];
     (
@@ -447,6 +505,7 @@ pub fn iterative_schedule_with(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn unschedule(
     problem: &Problem<'_>,
     victim: NodeId,
@@ -454,6 +513,8 @@ fn unschedule(
     mrt: &mut Mrt,
     alternative: &[usize],
     unscheduled: &mut usize,
+    worklist: &mut BinaryHeap<Cand>,
+    heights: &[i64],
     counters: &mut Counters,
 ) {
     counters.evictions += 1;
@@ -464,6 +525,12 @@ fn unschedule(
         mrt.remove(victim, &info.alternatives[alternative[victim.index()]].table, t);
     }
     *unscheduled += 1;
+    // Reinsert into the priority worklist so the displaced operation
+    // competes for the next scheduling step again.
+    worklist.push(Cand {
+        height: heights[victim.index()],
+        node: victim,
+    });
 }
 
 #[cfg(test)]
@@ -606,9 +673,9 @@ mod tests {
 
     #[test]
     fn ii_cap_error_surfaces() {
-        // A budget too small to schedule anything (START consumes the whole
-        // budget) fails at every candidate II; the cap turns that into an
-        // error instead of an infinite search.
+        // A budget too small to schedule the loop (one real step for two
+        // operations) fails at every candidate II; the cap turns that into
+        // an error instead of an infinite search.
         let m = minimal();
         let mut pb = ProblemBuilder::new(&m);
         let a = pb.add_op(Opcode::Add, OpId(0));
@@ -619,7 +686,7 @@ mod tests {
         let err = modulo_schedule(
             &p,
             &SchedConfig {
-                budget_ratio: 0.1, // budget rounds up to 1: START eats it
+                budget_ratio: 0.1, // budget rounds up to 1 real step of 2 needed
                 max_ii: Some(3),
                 ..SchedConfig::default()
             },
@@ -627,6 +694,33 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SchedError::IiCapExceeded { cap: 3, .. }));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn budget_is_over_real_ops_and_pseudo_ops_are_free() {
+        // Regression for the off-by-pseudo-ops budget: BudgetRatio 0.5 on a
+        // single-operation loop gives the paper's budget ceil(0.5·1) = 1
+        // real scheduling step — exactly enough, so the loop schedules at
+        // its MII in one attempt with one step. The old accounting
+        // (ceil(0.5·3) = 2 over all graph nodes, with START and STOP
+        // placement both charged) ran out of budget before STOP at every
+        // candidate II and pushed the loop into IiCapExceeded.
+        let m = minimal();
+        let mut pb = ProblemBuilder::new(&m);
+        let _ = pb.add_op(Opcode::Add, OpId(0));
+        let p = pb.finish();
+        let out = modulo_schedule(
+            &p,
+            &SchedConfig {
+                budget_ratio: 0.5,
+                ..SchedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.schedule.ii, out.mii.mii);
+        assert_eq!(out.stats.attempts.len(), 1, "first candidate II succeeds");
+        assert_eq!(out.stats.final_steps(), 1, "exactly one real step spent");
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
     }
 
     #[test]

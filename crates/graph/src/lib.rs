@@ -48,5 +48,5 @@ mod scc;
 
 pub use circuits::{elementary_circuits, Circuit};
 pub use graph::{DepEdge, DepGraph, DepKind, EdgeId, NodeId};
-pub use mindist::{compute_min_dist, MinDist, NEG_INF};
+pub use mindist::{compute_min_dist, MinDist, MinDistSolver, NEG_INF};
 pub use scc::{sccs, SccInfo};

@@ -76,6 +76,125 @@ impl MinDist {
     }
 }
 
+/// A reusable MinDist computation over a fixed node subset.
+///
+/// The subset mapping (graph node → matrix position) and the internal edge
+/// list only depend on the graph and the subset, not on the candidate II,
+/// so callers that probe many IIs over the same subset — the geometric
+/// probe plus binary search of the RecMII computation — build the solver
+/// once and call [`MinDistSolver::probe`] per candidate. The distance
+/// matrix is kept as scratch and refilled on every probe, so repeated
+/// probes allocate nothing.
+#[derive(Debug, Clone)]
+pub struct MinDistSolver {
+    nodes: Vec<NodeId>,
+    /// Position of each graph node inside `nodes`, or `usize::MAX`.
+    position: Vec<usize>,
+    /// Edges internal to the subset, as `(from_pos, to_pos, delay,
+    /// distance)`.
+    edges: Vec<(usize, usize, i64, u32)>,
+    /// Scratch `nodes.len() × nodes.len()` matrix, refilled per probe.
+    d: Vec<i64>,
+}
+
+impl MinDistSolver {
+    /// Prepares a solver for `nodes` (any subset of `graph`'s nodes,
+    /// typically one SCC or the whole graph).
+    ///
+    /// Edges with an endpoint outside `nodes` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates.
+    pub fn new(graph: &DepGraph, nodes: &[NodeId]) -> Self {
+        let n = nodes.len();
+        let mut position = vec![usize::MAX; graph.num_nodes()];
+        for (p, node) in nodes.iter().enumerate() {
+            assert!(
+                position[node.index()] == usize::MAX,
+                "duplicate node in MinDist subset"
+            );
+            position[node.index()] = p;
+        }
+        let mut edges = Vec::new();
+        for (pi, &node) in nodes.iter().enumerate() {
+            for e in graph.succs(node) {
+                let pj = position[e.to.index()];
+                if pj == usize::MAX {
+                    continue;
+                }
+                edges.push((pi, pj, e.delay, e.distance));
+            }
+        }
+        MinDistSolver {
+            nodes: nodes.to_vec(),
+            position,
+            edges,
+            d: vec![NEG_INF; n * n],
+        }
+    }
+
+    /// Runs the max-plus Floyd–Warshall for candidate `ii` into the scratch
+    /// matrix. `work` counts innermost-loop executions exactly as
+    /// [`compute_min_dist`] does.
+    fn relax(&mut self, ii: i64, work: &mut u64) {
+        assert!(ii >= 1, "candidate II must be at least 1");
+        let n = self.nodes.len();
+        self.d.fill(NEG_INF);
+        // Initialize from edges internal to the subset:
+        // MinDist[i, j] ≥ delay(e) − II·distance(e).
+        for &(pi, pj, delay, distance) in &self.edges {
+            let w = delay - ii * distance as i64;
+            let cell = &mut self.d[pi * n + pj];
+            if w > *cell {
+                *cell = w;
+            }
+        }
+
+        // Max-plus Floyd–Warshall.
+        let d = &mut self.d;
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d[i * n + k];
+                if dik == NEG_INF {
+                    continue;
+                }
+                for j in 0..n {
+                    *work += 1;
+                    let dkj = d[k * n + j];
+                    if dkj == NEG_INF {
+                        continue;
+                    }
+                    let cand = dik + dkj;
+                    let cell = &mut d[i * n + j];
+                    if cand > *cell {
+                        *cell = cand;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether candidate `ii` satisfies every recurrence in the subset (no
+    /// positive diagonal entry), without materializing a [`MinDist`].
+    pub fn probe(&mut self, ii: i64, work: &mut u64) -> bool {
+        self.relax(ii, work);
+        let n = self.nodes.len();
+        (0..n).all(|i| self.d[i * n + i] <= 0)
+    }
+
+    /// Computes the full [`MinDist`] matrix for candidate `ii`.
+    pub fn solve(&mut self, ii: i64, work: &mut u64) -> MinDist {
+        self.relax(ii, work);
+        MinDist {
+            ii,
+            nodes: self.nodes.clone(),
+            position: self.position.clone(),
+            d: self.d.clone(),
+        }
+    }
+}
+
 /// Computes the MinDist matrix for `nodes` (any subset of `graph`'s nodes,
 /// typically one SCC or the whole graph) at candidate initiation interval
 /// `ii`.
@@ -84,68 +203,14 @@ impl MinDist {
 /// incremented once per innermost-loop execution of the Floyd–Warshall
 /// relaxation — the quantity the paper's Table 4 fits against N (the
 /// *"expected number of times the innermost loop of ComputeMinDist is
-/// executed"*).
+/// executed"*). Callers probing many IIs over the same subset should build
+/// a [`MinDistSolver`] once instead.
 ///
 /// # Panics
 ///
 /// Panics if `ii < 1` or if `nodes` contains duplicates.
 pub fn compute_min_dist(graph: &DepGraph, nodes: &[NodeId], ii: i64, work: &mut u64) -> MinDist {
-    assert!(ii >= 1, "candidate II must be at least 1");
-    let n = nodes.len();
-    let mut position = vec![usize::MAX; graph.num_nodes()];
-    for (p, node) in nodes.iter().enumerate() {
-        assert!(
-            position[node.index()] == usize::MAX,
-            "duplicate node in MinDist subset"
-        );
-        position[node.index()] = p;
-    }
-
-    let mut d = vec![NEG_INF; n * n];
-    // Initialize from edges internal to the subset:
-    // MinDist[i, j] ≥ delay(e) − II·distance(e).
-    for (pi, &node) in nodes.iter().enumerate() {
-        for e in graph.succs(node) {
-            let pj = position[e.to.index()];
-            if pj == usize::MAX {
-                continue;
-            }
-            let w = e.delay - ii * e.distance as i64;
-            let cell = &mut d[pi * n + pj];
-            if w > *cell {
-                *cell = w;
-            }
-        }
-    }
-
-    // Max-plus Floyd–Warshall.
-    for k in 0..n {
-        for i in 0..n {
-            let dik = d[i * n + k];
-            if dik == NEG_INF {
-                continue;
-            }
-            for j in 0..n {
-                *work += 1;
-                let dkj = d[k * n + j];
-                if dkj == NEG_INF {
-                    continue;
-                }
-                let cand = dik + dkj;
-                let cell = &mut d[i * n + j];
-                if cand > *cell {
-                    *cell = cand;
-                }
-            }
-        }
-    }
-
-    MinDist {
-        ii,
-        nodes: nodes.to_vec(),
-        position,
-        d,
-    }
+    MinDistSolver::new(graph, nodes).solve(ii, work)
 }
 
 #[cfg(test)]
@@ -268,6 +333,25 @@ mod tests {
         let mut w = 0;
         let md = compute_min_dist(&g, &[NodeId(0)], 1, &mut w);
         let _ = md.get(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn solver_probes_match_fresh_computation() {
+        // Cycle delay 7, distance 2 => RecMII 4; reusing one solver across
+        // many IIs must agree with from-scratch computation, including the
+        // work counts.
+        let mut g = DepGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 4, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(0), 3, 2, DepKind::Flow, false);
+        let nodes = [NodeId(0), NodeId(1)];
+        let mut solver = MinDistSolver::new(&g, &nodes);
+        for ii in 1..=6 {
+            let (mut w_solver, mut w_fresh) = (0u64, 0u64);
+            let fresh = compute_min_dist(&g, &nodes, ii, &mut w_fresh);
+            assert_eq!(solver.probe(ii, &mut w_solver), fresh.feasible(), "ii {ii}");
+            assert_eq!(w_solver, w_fresh, "work count diverged at ii {ii}");
+            assert_eq!(solver.solve(ii, &mut w_solver), fresh);
+        }
     }
 
     #[test]

@@ -13,9 +13,23 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> cargo doc --no-deps --offline (warnings are errors)"
+echo "==> corpus determinism across thread counts"
+t1_log=$(mktemp)
+t4_log=$(mktemp)
 doc_log=$(mktemp)
-trap 'rm -f "$doc_log"' EXIT
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log"' EXIT
+cargo run --release --offline -q -p ims-bench --bin corpus -- \
+    --loops 120 --threads 1 >"$t1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-bench --bin corpus -- \
+    --loops 120 --threads 4 >"$t4_log" 2>/dev/null
+if ! diff -q "$t1_log" "$t4_log" >/dev/null; then
+    echo "FAIL: corpus output differs between --threads 1 and --threads 4" >&2
+    diff "$t1_log" "$t4_log" | head >&2
+    exit 1
+fi
+echo "    byte-identical at --threads 1 and --threads 4 (120 loops)"
+
+echo "==> cargo doc --no-deps --offline (warnings are errors)"
 cargo doc --no-deps --offline --workspace 2>&1 | tee "$doc_log"
 if grep -q "^warning" "$doc_log"; then
     echo "FAIL: rustdoc emitted warnings" >&2

@@ -14,8 +14,10 @@
 //! * post-scheduling code generation — modulo variable expansion, kernel
 //!   unrolling, prologue/epilogue ([`codegen`]),
 //! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
-//! * a benchmark-loop corpus generator ([`loopgen`]), and
-//! * the statistics toolkit used by the evaluation harness ([`stats`]).
+//! * a benchmark-loop corpus generator ([`loopgen`]),
+//! * the statistics toolkit used by the evaluation harness ([`stats`]), and
+//! * the corpus measurement harness with its parallel scheduling driver
+//!   ([`mod@bench`]).
 //!
 //! This facade crate re-exports all of them under one roof. Downstream users
 //! can either depend on `ims` or on the individual `ims-*` crates.
@@ -23,6 +25,7 @@
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
 //! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub use ims_bench as bench;
 pub use ims_codegen as codegen;
 pub use ims_core as core;
 pub use ims_deps as deps;

@@ -25,6 +25,43 @@ fn key_types_are_send_and_sync() {
 }
 
 #[test]
+fn ii_cap_surfaces_a_structured_error() {
+    // A loop whose recurrence forces II >= 5 cannot schedule under
+    // `max_ii: Some(2)`; the failure must surface as the structured
+    // `IiCapExceeded` error (with the cap and the MII), not a panic —
+    // even with a generous budget.
+    use ims::core::{modulo_schedule, ProblemBuilder, SchedError};
+    use ims::graph::DepKind;
+    use ims::ir::{OpId, Opcode};
+    use ims::machine::minimal;
+
+    let machine = minimal();
+    let mut pb = ProblemBuilder::new(&machine);
+    let a = pb.add_op(Opcode::Add, OpId(0));
+    let b = pb.add_op(Opcode::Add, OpId(1));
+    pb.add_dep(a, b, 4, 0, DepKind::Flow, false);
+    pb.add_dep(b, a, 1, 1, DepKind::Flow, false); // RecMII = ceil(5/1) = 5
+    let problem = pb.finish();
+
+    let err = modulo_schedule(
+        &problem,
+        &SchedConfig {
+            max_ii: Some(2),
+            budget_ratio: 100.0,
+            ..SchedConfig::default()
+        },
+    )
+    .expect_err("II capped below the recurrence bound cannot schedule");
+    match err {
+        SchedError::IiCapExceeded { cap, mii } => {
+            assert_eq!(cap, 2);
+            assert_eq!(mii, 5);
+        }
+    }
+    assert!(!err.to_string().is_empty(), "error implements Display");
+}
+
+#[test]
 fn corpus_runs_are_parallelizable() {
     // The whole measurement pipeline is shared-state-free: running loops
     // from several threads must give the same results as serially.

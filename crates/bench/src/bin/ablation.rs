@@ -11,8 +11,8 @@
 //!    up on dense recurrence structures, which is why the paper uses the
 //!    MinDist formulation.
 
-use ims_bench::measure_corpus_threads;
 use ims_bench::pool::threads_from_args;
+use ims_bench::{measure_corpus_traced, parse_trace_dir};
 use ims_core::{
     modulo_schedule, rec_mii, rec_mii_by_circuits, Counters, PriorityKind, SchedConfig,
 };
@@ -24,11 +24,22 @@ use ims_stats::table::{num, Table};
 fn main() {
     let corpus = corpus_of_size(0xC4D5, 400);
     let threads = threads_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    // With --trace DIR, the two reservation-table runs write their
+    // per-loop traces side by side (`complex_loop_*` / `simple_loop_*`).
+    let trace_dir = parse_trace_dir(&args);
     println!("Ablations over {} corpus loops\n", corpus.len());
 
     // ----- 1. Complex vs simple reservation tables -----
-    let complex = measure_corpus_threads(&corpus, &cydra(), 6.0, threads);
-    let simple = measure_corpus_threads(&corpus, &cydra_simple(), 6.0, threads);
+    let trace = |machine: &ims_machine::MachineModel, prefix: &str| {
+        measure_corpus_traced(&corpus, machine, 6.0, threads, trace_dir.as_deref(), prefix)
+            .unwrap_or_else(|e| {
+                eprintln!("ablation: cannot write traces: {e}");
+                std::process::exit(1);
+            })
+    };
+    let complex = trace(&cydra(), "complex_");
+    let simple = trace(&cydra_simple(), "simple_");
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let ineff = |ms: &[ims_bench::LoopMeasurement]| {
         let steps: u64 = ms.iter().map(|m| m.total_steps).sum();
@@ -109,15 +120,8 @@ fn main() {
         let mut ops = 0usize;
         for l in &corpus.loops {
             let p = build_problem(&l.body, &machine, &BuildOptions::default());
-            let out = modulo_schedule(
-                &p,
-                &SchedConfig {
-                    budget_ratio: 6.0,
-                    priority: kind,
-                    ..SchedConfig::default()
-                },
-            )
-            .expect("corpus loops schedule");
+            let out = modulo_schedule(&p, &SchedConfig::new().budget_ratio(6.0).priority(kind))
+                .expect("corpus loops schedule");
             if out.delta_ii() == 0 {
                 optimal += 1;
             }

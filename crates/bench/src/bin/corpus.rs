@@ -7,14 +7,17 @@
 //! checks on every run.
 //!
 //! ```text
-//! corpus [--seed H] [--loops N] [--budget R] [--threads T]
+//! corpus [--seed H] [--loops N] [--budget R] [--threads T] [--trace DIR]
 //! ```
 //!
 //! Defaults: the paper's 1327-loop corpus at seed `0xC4D5`, BudgetRatio 6,
-//! one worker per available core.
+//! one worker per available core. With `--trace DIR`, one JSON-lines
+//! event trace per loop is written under `DIR` (`loop_00042.jsonl`, …) —
+//! also byte-identical across thread counts; render them with the
+//! `trace_report` binary.
 
 use ims_bench::pool::{default_threads, parse_threads};
-use ims_bench::{corpus_jsonl, measure_corpus_threads};
+use ims_bench::{corpus_jsonl, measure_corpus_traced, parse_trace_dir};
 use ims_loopgen::corpus_of_size;
 use ims_machine::cydra;
 
@@ -40,11 +43,16 @@ fn main() {
     let loops: usize = flag(&args, "--loops", 1327);
     let budget: f64 = flag(&args, "--budget", 6.0);
     let threads = parse_threads(&args).unwrap_or_else(default_threads);
+    let trace_dir = parse_trace_dir(&args);
 
     let corpus = corpus_of_size(seed, loops);
     let machine = cydra();
     let t0 = std::time::Instant::now();
-    let ms = measure_corpus_threads(&corpus, &machine, budget, threads);
+    let ms = measure_corpus_traced(&corpus, &machine, budget, threads, trace_dir.as_deref(), "")
+        .unwrap_or_else(|e| {
+            eprintln!("corpus: cannot write traces: {e}");
+            std::process::exit(1);
+        });
     let elapsed = t0.elapsed();
 
     print!("{}", corpus_jsonl(&ms));

@@ -11,7 +11,7 @@
 //! near their minima.
 
 use ims_bench::pool::threads_from_args;
-use ims_bench::{aggregate_figure6, measure_corpus_threads};
+use ims_bench::{aggregate_figure6, measure_corpus_traced, parse_trace_dir};
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::{num, Table};
@@ -20,6 +20,10 @@ fn main() {
     let corpus = paper_corpus(0xC4D5);
     let machine = cydra();
     let threads = threads_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    // With --trace DIR, every sweep point writes its own per-loop traces,
+    // prefixed by the BudgetRatio (`b1.25_loop_00042.jsonl`, ...).
+    let trace_dir = parse_trace_dir(&args);
     let budgets: Vec<f64> = (4..=16).map(|i| i as f64 * 0.25).collect();
 
     println!(
@@ -35,7 +39,12 @@ fn main() {
     let mut series = Vec::new();
     for &b in &budgets {
         eprintln!("  BudgetRatio {b:.2} ({threads} threads)...");
-        let ms = measure_corpus_threads(&corpus, &machine, b, threads);
+        let prefix = format!("b{b:.2}_");
+        let ms = measure_corpus_traced(&corpus, &machine, b, threads, trace_dir.as_deref(), &prefix)
+            .unwrap_or_else(|e| {
+                eprintln!("figure6: cannot write traces: {e}");
+                std::process::exit(1);
+            });
         let (dilation, inefficiency) = aggregate_figure6(&ms);
         series.push((b, dilation, inefficiency));
         t.row(vec![num(b, 2), num(dilation, 4), num(inefficiency, 3)]);

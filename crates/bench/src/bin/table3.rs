@@ -2,10 +2,11 @@
 //! corpus, plus the prose claims of §4.2 and §4.3.
 //!
 //! The paper ran 1327 loops at BudgetRatio 6 (*"well above the largest
-//! value actually needed by any loop"*); so does this binary.
+//! value actually needed by any loop"*); so does this binary. Accepts
+//! `--threads N` and `--trace DIR` (per-loop event traces).
 
 use ims_bench::pool::threads_from_args;
-use ims_bench::{measure_corpus_threads, LoopMeasurement};
+use ims_bench::{measure_corpus_traced, parse_trace_dir, LoopMeasurement};
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::{num, Table};
@@ -29,7 +30,13 @@ fn main() {
         "scheduling {} loops (BudgetRatio = 6, {threads} threads)...",
         corpus.len()
     );
-    let ms = measure_corpus_threads(&corpus, &cydra(), 6.0, threads);
+    let args: Vec<String> = std::env::args().collect();
+    let trace_dir = parse_trace_dir(&args);
+    let ms = measure_corpus_traced(&corpus, &cydra(), 6.0, threads, trace_dir.as_deref(), "")
+        .unwrap_or_else(|e| {
+            eprintln!("table3: cannot write traces: {e}");
+            std::process::exit(1);
+        });
 
     let stats = |f: &dyn Fn(&LoopMeasurement) -> f64, min: f64| -> DistributionStats {
         let v: Vec<f64> = ms.iter().map(f).collect();

@@ -9,8 +9,8 @@
 //! empirically O(N) except the scheduler's slot search, which is O(N²), so
 //! iterative modulo scheduling is empirically O(N²) overall.
 
-use ims_bench::measure_corpus_threads;
 use ims_bench::pool::threads_from_args;
+use ims_bench::{measure_corpus_traced, parse_trace_dir};
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::Table;
@@ -23,7 +23,13 @@ fn main() {
         "scheduling {} loops (BudgetRatio = 6, {threads} threads)...",
         corpus.len()
     );
-    let ms = measure_corpus_threads(&corpus, &cydra(), 6.0, threads);
+    let args: Vec<String> = std::env::args().collect();
+    let trace_dir = parse_trace_dir(&args);
+    let ms = measure_corpus_traced(&corpus, &cydra(), 6.0, threads, trace_dir.as_deref(), "")
+        .unwrap_or_else(|e| {
+            eprintln!("table4: cannot write traces: {e}");
+            std::process::exit(1);
+        });
 
     let ns: Vec<f64> = ms.iter().map(|m| m.n_ops as f64).collect();
     let fit1 = |ys: &[f64]| {

@@ -18,20 +18,26 @@
 //! | `bench_scheduler` | std-only micro-benchmarks of the full scheduling pipeline ([`micro`]), including corpus-scheduling throughput across thread counts |
 //! | `bench_mii` | std-only micro-benchmarks of the MII bounds and HeightR ([`micro`]) |
 //! | `corpus`   | the parallel corpus-scheduling driver: JSON-line per-loop results, byte-identical across `--threads` values |
+//! | `trace_report` | per-loop convergence reports rendered from a `--trace` directory |
 //!
 //! This library holds the shared machinery: [`measure_corpus_threads`]
 //! fans the modulo scheduler out over the std-only worker pool in
 //! [`pool`] and collects, per loop, every quantity the paper reports;
 //! [`corpus_jsonl`] renders a run as deterministic JSON lines. All the
-//! corpus binaries accept `--threads N` (default: one worker per core).
+//! corpus binaries accept `--threads N` (default: one worker per core)
+//! and `--trace DIR`, which additionally writes one JSON-lines event
+//! trace per loop via [`measure_corpus_traced`] — byte-identical across
+//! thread counts, inspectable with `trace_report`.
 
 use ims_core::{
-    height_r, list_schedule, modulo_schedule, Counters, SchedConfig, SchedOutcome,
+    height_r, list_schedule, Counters, NullObserver, SchedConfig, SchedObserver, SchedOutcome,
+    Scheduler,
 };
 use ims_deps::{back_substitute, build_problem, BuildOptions};
 use ims_graph::sccs;
 use ims_loopgen::{Corpus, CorpusLoop, Profile};
 use ims_machine::MachineModel;
+use ims_trace::TraceWriter;
 
 pub mod micro;
 pub mod pool;
@@ -104,19 +110,28 @@ pub fn measure_loop(
     machine: &MachineModel,
     budget_ratio: f64,
 ) -> LoopMeasurement {
+    measure_loop_observed(l, machine, budget_ratio, &mut NullObserver)
+}
+
+/// [`measure_loop`] with a caller-supplied [`SchedObserver`] watching the
+/// scheduler's decisions. `measure_loop` is exactly this with
+/// [`NullObserver`], so the untraced path pays nothing for the hook.
+pub fn measure_loop_observed<O: SchedObserver>(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    observer: &mut O,
+) -> LoopMeasurement {
     // The paper's corpus was dumped "after load-store elimination,
     // recurrence back-substitution and IF-conversion" (§4.1); apply the
     // same preprocessing.
     let body = back_substitute(&l.body, machine);
     let problem = build_problem(&body, machine, &BuildOptions::default());
-    let outcome: SchedOutcome = modulo_schedule(
-        &problem,
-        &SchedConfig {
-            budget_ratio,
-            ..SchedConfig::default()
-        },
-    )
-    .expect("corpus loops always schedule under the automatic II cap");
+    let outcome: SchedOutcome = Scheduler::new(&problem)
+        .config(SchedConfig::new().budget_ratio(budget_ratio))
+        .observer(observer)
+        .run()
+        .expect("corpus loops always schedule under the automatic II cap");
 
     // SCC statistics over real operations only (START/STOP would otherwise
     // show up as two extra trivial components).
@@ -188,6 +203,56 @@ pub fn measure_corpus_threads(
     pool::par_map(&corpus.loops, threads, |_, l| {
         measure_loop(l, machine, budget_ratio)
     })
+}
+
+/// [`measure_corpus_threads`] plus per-loop event traces.
+///
+/// When `trace_dir` is `None` this is exactly the untraced run. Otherwise
+/// each worker streams its loop's events into an in-memory
+/// [`TraceWriter`], and after the in-order merge the traces are written
+/// as `<prefix>loop_<index:05>.jsonl` under `trace_dir` (created if
+/// missing). Because the events carry no timestamps or thread identity
+/// and the files are named by corpus index, the trace directory is
+/// byte-identical for every `threads` value — `scripts/verify.sh` diffs
+/// a slice at `--threads 1` vs `--threads 4` on every run.
+pub fn measure_corpus_traced(
+    corpus: &Corpus,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    threads: usize,
+    trace_dir: Option<&std::path::Path>,
+    prefix: &str,
+) -> std::io::Result<Vec<LoopMeasurement>> {
+    let Some(dir) = trace_dir else {
+        return Ok(measure_corpus_threads(corpus, machine, budget_ratio, threads));
+    };
+    std::fs::create_dir_all(dir)?;
+    let traced = pool::par_map(&corpus.loops, threads, |_, l| {
+        let mut tracer = TraceWriter::in_memory();
+        let m = measure_loop_observed(l, machine, budget_ratio, &mut tracer);
+        (m, tracer.into_string())
+    });
+    let mut ms = Vec::with_capacity(traced.len());
+    for (index, (m, trace)) in traced.into_iter().enumerate() {
+        std::fs::write(dir.join(format!("{prefix}loop_{index:05}.jsonl")), trace)?;
+        ms.push(m);
+    }
+    Ok(ms)
+}
+
+/// Extracts `--trace DIR` (or `--trace=DIR`) from a raw argv slice, the
+/// way the corpus binaries share [`pool::parse_threads`].
+pub fn parse_trace_dir(args: &[String]) -> Option<std::path::PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            return it.next().map(std::path::PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(v));
+        }
+    }
+    None
 }
 
 /// Renders one corpus loop's measurement as a deterministic JSON line:

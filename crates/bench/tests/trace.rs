@@ -1,0 +1,116 @@
+//! Integration tests for the traced corpus path: tracing must not
+//! perturb the scheduler, trace directories must be byte-identical
+//! across thread counts, and the written traces must faithfully replay
+//! the schedules the measurements report.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ims_bench::{corpus_jsonl, measure_corpus_threads, measure_corpus_traced, parse_trace_dir};
+use ims_loopgen::corpus_of_size;
+use ims_machine::cydra;
+use ims_trace::{parse_trace, replay, TraceSummary};
+
+/// A unique, self-cleaning temp directory per test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("ims_bench_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn read_traces(dir: &Path) -> BTreeMap<String, String> {
+    std::fs::read_dir(dir)
+        .expect("trace dir exists")
+        .map(|e| {
+            let path = e.expect("readable entry").path();
+            let name = path.file_name().unwrap().to_str().unwrap().to_string();
+            (name, std::fs::read_to_string(&path).expect("readable trace"))
+        })
+        .collect()
+}
+
+#[test]
+fn tracing_does_not_perturb_the_measurements() {
+    let corpus = corpus_of_size(11, 25);
+    let machine = cydra();
+    let untraced = measure_corpus_threads(&corpus, &machine, 6.0, 2);
+
+    let tmp = TempDir::new("perturb");
+    let traced = measure_corpus_traced(&corpus, &machine, 6.0, 2, Some(&tmp.0), "")
+        .expect("traces written");
+
+    // corpus_jsonl covers every per-loop quantity including the Table 4
+    // work counters, so byte-equality here proves the TraceWriter (and
+    // the observer hooks it exercises) left the scheduler's behaviour
+    // and instrumentation untouched.
+    assert_eq!(corpus_jsonl(&untraced), corpus_jsonl(&traced));
+}
+
+#[test]
+fn trace_directory_is_identical_across_thread_counts() {
+    let corpus = corpus_of_size(12, 30);
+    let machine = cydra();
+
+    let one = TempDir::new("threads1");
+    let four = TempDir::new("threads4");
+    measure_corpus_traced(&corpus, &machine, 6.0, 1, Some(&one.0), "").expect("traces written");
+    measure_corpus_traced(&corpus, &machine, 6.0, 4, Some(&four.0), "").expect("traces written");
+
+    let a = read_traces(&one.0);
+    let b = read_traces(&four.0);
+    assert_eq!(a.len(), corpus.loops.len(), "one trace file per loop");
+    assert_eq!(a, b, "trace files must not depend on the thread count");
+}
+
+#[test]
+fn written_traces_replay_to_the_reported_schedules() {
+    let corpus = corpus_of_size(13, 15);
+    let machine = cydra();
+
+    let tmp = TempDir::new("replay");
+    let ms = measure_corpus_traced(&corpus, &machine, 6.0, 2, Some(&tmp.0), "")
+        .expect("traces written");
+
+    let traces = read_traces(&tmp.0);
+    for (index, m) in ms.iter().enumerate() {
+        let name = format!("loop_{index:05}.jsonl");
+        let events = parse_trace(&traces[&name]).expect("trace parses");
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.final_ii(), Some(m.ii), "{name}");
+        assert_eq!(summary.total_steps(), m.total_steps, "{name}");
+        assert_eq!(summary.evictions, m.counters.evictions, "{name}");
+        let times = replay(&events).final_times().expect("complete schedule");
+        // Every placement respects the final II's row structure: the
+        // replayed times are exactly the schedule the measurement saw,
+        // so its length (STOP time) must match.
+        assert_eq!(
+            times.iter().copied().max(),
+            Some(m.schedule_length),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn trace_flag_parses_both_spellings() {
+    let to_args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+    assert_eq!(
+        parse_trace_dir(&to_args(&["bin", "--trace", "/tmp/t"])),
+        Some(PathBuf::from("/tmp/t"))
+    );
+    assert_eq!(
+        parse_trace_dir(&to_args(&["bin", "--trace=/tmp/t", "--threads", "2"])),
+        Some(PathBuf::from("/tmp/t"))
+    );
+    assert_eq!(parse_trace_dir(&to_args(&["bin", "--threads", "2"])), None);
+}

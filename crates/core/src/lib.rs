@@ -13,10 +13,16 @@
 //! * the **HeightR priority function** of §3.2 ([`height_r`]), the direct
 //!   extension of height-based list-scheduling priority to cyclic graphs;
 //! * the **modulo reservation table** of §3.1 ([`Mrt`]);
-//! * the **iterative scheduler** itself (§3.1–§3.4): [`modulo_schedule`]
-//!   drives [`iterative_schedule`] at successively larger II, with
+//! * the **iterative scheduler** itself (§3.1–§3.4): the [`Scheduler`]
+//!   builder (and the [`modulo_schedule`] wrapper it subsumes) drives
+//!   [`iterative_schedule`] at successively larger II, with
 //!   `FindTimeSlot`'s forward-progress rule and the displacement policy of
 //!   §3.4, under the `BudgetRatio` operation-scheduling budget;
+//! * an **event-level observer layer** ([`SchedObserver`]): every
+//!   scheduling decision (placements, evictions, slot searches, budget
+//!   exhaustion) is reported to a monomorphized observer, at zero cost
+//!   for the default [`NullObserver`] — the `ims-trace` crate builds
+//!   JSON-lines tracing and metrics aggregation on top;
 //! * the **acyclic list scheduler** ([`list_schedule`]) the paper uses both
 //!   as the schedule-length lower bound and as the cost yardstick;
 //! * an independent **schedule validator** ([`validate_schedule`]) that
@@ -48,24 +54,29 @@
 //! # Ok::<(), ims_core::SchedError>(())
 //! ```
 
+mod builder;
 mod counters;
 pub mod display;
 mod list_sched;
 mod mii;
 mod mrt;
+mod observe;
 mod priority;
 mod problem;
 mod sched;
 mod validate;
 
+pub use builder::Scheduler;
 pub use counters::Counters;
 pub use list_sched::{list_schedule, ListSchedule};
 pub use mii::{compute_mii, rec_mii, rec_mii_by_circuits, res_mii, MiiInfo};
 pub use mrt::Mrt;
+pub use observe::{NullObserver, SchedObserver};
 pub use priority::{height_r, priorities, PriorityKind};
 pub use problem::{NodeKind, Problem, ProblemBuilder};
 pub use sched::{
-    iterative_schedule, iterative_schedule_with, modulo_schedule, IiAttempt, SchedConfig,
-    SchedError, SchedOutcome, SchedStats, Schedule,
+    iterative_schedule, iterative_schedule_observed, iterative_schedule_with, modulo_schedule,
+    modulo_schedule_observed, IiAttempt, SchedConfig, SchedError, SchedOutcome, SchedStats,
+    Schedule, ScheduleError,
 };
 pub use validate::{validate_schedule, ScheduleViolation};

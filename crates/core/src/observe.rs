@@ -1,0 +1,158 @@
+//! Event-level scheduler observability.
+//!
+//! The paper's §4 evaluation reasons about *why* iterative scheduling
+//! converges — budget spent per candidate II, operations displaced, slot
+//! searches performed — but the [`Counters`](crate::Counters) totals only
+//! say how much work was done overall, not when. [`SchedObserver`] exposes
+//! the scheduler's individual decisions as they happen: the scheduling
+//! entry points are generic over an observer, so a real observer (the
+//! JSON-lines `TraceWriter` and histogram-building `MetricsObserver` in
+//! `ims-trace`) sees every event, while the default [`NullObserver`]
+//! monomorphizes every hook into an empty inline body — the untraced
+//! scheduler compiles to exactly the code it had before this trait
+//! existed, and its output (schedules, counters, corpus stdout) is
+//! bit-identical.
+//!
+//! Hooks fire in scheduling order. For one operation-scheduling step at
+//! candidate initiation interval II the sequence is:
+//!
+//! 1. [`slot_search`](SchedObserver::slot_search) — `FindTimeSlot`
+//!    examined `iters` slots starting at `estart` (real operations only);
+//! 2. zero or more [`op_evicted`](SchedObserver::op_evicted) — operations
+//!    displaced by a forced placement's resource conflicts;
+//! 3. [`op_scheduled`](SchedObserver::op_scheduled) — the operation is
+//!    placed (with `forced = true` when no conflict-free slot existed);
+//! 4. zero or more further [`op_evicted`](SchedObserver::op_evicted) —
+//!    scheduled successors whose dependence constraints the new placement
+//!    violates.
+//!
+//! Around the steps, [`attempt_start`](SchedObserver::attempt_start) /
+//! [`attempt_done`](SchedObserver::attempt_done) bracket each candidate
+//! II, and [`budget_exhausted`](SchedObserver::budget_exhausted) fires
+//! when an attempt runs out of its `BudgetRatio · N` step budget.
+//!
+//! Replaying events 2–4 (set the node's time on `op_scheduled`, clear it
+//! on `op_evicted`) reconstructs the final schedule exactly; the
+//! workspace's property tests rely on this.
+
+use ims_graph::NodeId;
+
+/// Receiver for scheduler events; all hooks default to no-ops, so an
+/// observer only implements the events it cares about.
+///
+/// The scheduling entry points ([`Scheduler`](crate::Scheduler), and the
+/// `*_observed` functions behind it) are generic over `SchedObserver` and
+/// monomorphized per observer type: observing costs exactly what the
+/// observer's hook bodies cost, and [`NullObserver`] costs nothing.
+pub trait SchedObserver {
+    /// An attempt at candidate initiation interval `ii` begins, with
+    /// `budget` operation-scheduling steps available.
+    fn attempt_start(&mut self, ii: i64, budget: i64) {
+        let _ = (ii, budget);
+    }
+
+    /// `node` was placed at `time` using alternative `alt`. `forced` is
+    /// true when no conflict-free slot existed and the placement displaced
+    /// conflicting operations (§3.4). Fires for the START/STOP
+    /// pseudo-operations too (always `alt = 0`, `forced = false`).
+    fn op_scheduled(&mut self, node: NodeId, time: i64, alt: usize, forced: bool) {
+        let _ = (node, time, alt, forced);
+    }
+
+    /// `node` was unscheduled because placing `evictor` displaced it —
+    /// either a resource conflict with a forced placement or a violated
+    /// dependence constraint.
+    fn op_evicted(&mut self, node: NodeId, evictor: NodeId) {
+        let _ = (node, evictor);
+    }
+
+    /// `FindTimeSlot` examined `iters` candidate slots for `node`,
+    /// starting at `estart` (Figure 4; real operations only).
+    fn slot_search(&mut self, node: NodeId, estart: i64, iters: u32) {
+        let _ = (node, estart, iters);
+    }
+
+    /// The attempt at `ii` ran out of budget after `spent`
+    /// operation-scheduling steps.
+    fn budget_exhausted(&mut self, ii: i64, spent: u64) {
+        let _ = (ii, spent);
+    }
+
+    /// The attempt at `ii` finished; `ok` is whether every operation was
+    /// scheduled within budget.
+    fn attempt_done(&mut self, ii: i64, ok: bool) {
+        let _ = (ii, ok);
+    }
+}
+
+/// The default do-nothing observer: every hook is an empty inline body,
+/// so the monomorphized scheduler is identical to an unobserved one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl SchedObserver for NullObserver {}
+
+/// Forwarding impl so a borrowed observer can be handed to the builder
+/// (`Scheduler::new(&p).observer(&mut tracer)`) while the caller keeps
+/// ownership for inspection afterwards. Every hook must forward
+/// explicitly — the trait's default bodies are no-ops.
+impl<O: SchedObserver + ?Sized> SchedObserver for &mut O {
+    fn attempt_start(&mut self, ii: i64, budget: i64) {
+        (**self).attempt_start(ii, budget);
+    }
+    fn op_scheduled(&mut self, node: NodeId, time: i64, alt: usize, forced: bool) {
+        (**self).op_scheduled(node, time, alt, forced);
+    }
+    fn op_evicted(&mut self, node: NodeId, evictor: NodeId) {
+        (**self).op_evicted(node, evictor);
+    }
+    fn slot_search(&mut self, node: NodeId, estart: i64, iters: u32) {
+        (**self).slot_search(node, estart, iters);
+    }
+    fn budget_exhausted(&mut self, ii: i64, spent: u64) {
+        (**self).budget_exhausted(ii, spent);
+    }
+    fn attempt_done(&mut self, ii: i64, ok: bool) {
+        (**self).attempt_done(ii, ok);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingObserver {
+        events: usize,
+    }
+
+    impl SchedObserver for CountingObserver {
+        fn attempt_start(&mut self, _: i64, _: i64) {
+            self.events += 1;
+        }
+        fn op_scheduled(&mut self, _: NodeId, _: i64, _: usize, _: bool) {
+            self.events += 1;
+        }
+    }
+
+    fn fire_all<O: SchedObserver>(obs: &mut O) {
+        obs.attempt_start(2, 10);
+        obs.op_scheduled(NodeId(1), 0, 0, false);
+        obs.op_evicted(NodeId(1), NodeId(2));
+        obs.slot_search(NodeId(1), 0, 2);
+        obs.budget_exhausted(2, 10);
+        obs.attempt_done(2, false);
+    }
+
+    #[test]
+    fn null_observer_accepts_every_hook() {
+        fire_all(&mut NullObserver);
+    }
+
+    #[test]
+    fn mut_reference_forwards_every_overridden_hook() {
+        let mut c = CountingObserver::default();
+        fire_all(&mut &mut c);
+        assert_eq!(c.events, 2, "the two overridden hooks forwarded");
+    }
+}

@@ -22,11 +22,28 @@ use crate::counters::Counters;
 use crate::list_sched::list_schedule;
 use crate::mii::{compute_mii, MiiInfo};
 use crate::mrt::Mrt;
+use crate::observe::{NullObserver, SchedObserver};
 use crate::priority::{priorities, PriorityKind};
 use crate::problem::Problem;
 
-/// Tuning knobs for [`modulo_schedule`].
+/// Tuning knobs for the scheduler (see [`Scheduler`](crate::Scheduler)).
+///
+/// Construct with [`SchedConfig::new`] (or `default()`) and chain the
+/// setters; the struct is `#[non_exhaustive]` so new knobs can be added
+/// without breaking downstream builds:
+///
+/// ```
+/// use ims_core::{PriorityKind, SchedConfig};
+///
+/// let cfg = SchedConfig::new()
+///     .budget_ratio(6.0)
+///     .max_ii(64)
+///     .priority(PriorityKind::HeightR);
+/// assert_eq!(cfg.budget_ratio, 6.0);
+/// assert_eq!(cfg.max_ii, Some(64));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SchedConfig {
     /// *"BudgetRatio is the ratio of the maximum number of operation
     /// scheduling steps attempted (before giving up and trying a larger
@@ -53,12 +70,36 @@ impl Default for SchedConfig {
 }
 
 impl SchedConfig {
+    /// The default configuration (BudgetRatio 2, automatic II cap,
+    /// HeightR priority).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the `BudgetRatio` (operation-scheduling steps per real
+    /// operation, per candidate II).
+    pub fn budget_ratio(mut self, budget_ratio: f64) -> Self {
+        self.budget_ratio = budget_ratio;
+        self
+    }
+
+    /// Caps the candidate-II search at `max_ii` (inclusive). Without a
+    /// cap, a guaranteed-feasible one is derived from the acyclic list
+    /// schedule.
+    pub fn max_ii(mut self, max_ii: i64) -> Self {
+        self.max_ii = Some(max_ii);
+        self
+    }
+
+    /// Selects the scheduling priority function (§3.2).
+    pub fn priority(mut self, priority: PriorityKind) -> Self {
+        self.priority = priority;
+        self
+    }
+
     /// A config with the given budget ratio and automatic II cap.
     pub fn with_budget_ratio(budget_ratio: f64) -> Self {
-        SchedConfig {
-            budget_ratio,
-            ..Self::default()
-        }
+        Self::new().budget_ratio(budget_ratio)
     }
 }
 
@@ -152,35 +193,57 @@ impl SchedOutcome {
     }
 }
 
-/// Failure of [`modulo_schedule`].
+/// Failure of a scheduling run, surfaced uniformly from
+/// [`Scheduler::run`](crate::Scheduler::run) and the legacy
+/// [`modulo_schedule`] wrapper. Match on the variants, not on the
+/// [`Display`](std::fmt::Display) text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SchedError {
-    /// No schedule was found up to the II cap. With the automatic cap this
-    /// indicates an inconsistent dependence graph (e.g. a positive-delay
-    /// zero-distance cycle).
+pub enum ScheduleError {
+    /// The configured II cap is below the MII, so no candidate II was
+    /// admissible and no attempt was made.
     IiCapExceeded {
-        /// The cap that was reached.
-        cap: i64,
-        /// The MII the search started from.
+        /// The MII the search would have started from.
         mii: i64,
+        /// The configured cap that excluded it.
+        max_ii: i64,
+    },
+    /// Every candidate II from the MII up to the cap ran out of its
+    /// `BudgetRatio · N` operation-scheduling budget. With the automatic
+    /// cap this indicates an inconsistent dependence graph (e.g. a
+    /// positive-delay zero-distance cycle).
+    BudgetExhausted {
+        /// The last (largest) candidate II attempted.
+        last_ii: i64,
+        /// Operation-scheduling steps spent across all failed attempts.
+        spent: u64,
     },
 }
 
-impl std::fmt::Display for SchedError {
+/// Legacy name for [`ScheduleError`], kept so pre-builder callers
+/// compile. Prefer `ScheduleError` in new code.
+pub type SchedError = ScheduleError;
+
+impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SchedError::IiCapExceeded { cap, mii } => {
-                if cap < mii {
-                    write!(f, "II cap {cap} is below the MII {mii}: no candidate II admissible")
-                } else {
-                    write!(f, "no modulo schedule found for II in [{mii}, {cap}]")
-                }
+            ScheduleError::IiCapExceeded { mii, max_ii } => {
+                write!(
+                    f,
+                    "II cap {max_ii} is below the MII {mii}: no candidate II admissible"
+                )
+            }
+            ScheduleError::BudgetExhausted { last_ii, spent } => {
+                write!(
+                    f,
+                    "no modulo schedule found up to II {last_ii} \
+                     ({spent} scheduling steps spent)"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for SchedError {}
+impl std::error::Error for ScheduleError {}
 
 /// Figure 2: compute the MII, then try `IterativeSchedule` at II = MII,
 /// MII+1, … until a schedule is found.
@@ -207,14 +270,37 @@ impl std::error::Error for SchedError {}
 ///
 /// # Errors
 ///
-/// Returns [`SchedError::IiCapExceeded`] if no schedule is found up to the
-/// configured (or automatically derived) II cap; with a well-formed
-/// dependence graph and the automatic cap this cannot happen, because a
-/// large enough II always admits the acyclic list schedule.
+/// Returns [`ScheduleError::IiCapExceeded`] when an explicit `max_ii` is
+/// below the MII, and [`ScheduleError::BudgetExhausted`] if no schedule
+/// is found up to the configured (or automatically derived) II cap; with
+/// a well-formed dependence graph and the automatic cap the latter cannot
+/// happen, because a large enough II always admits the acyclic list
+/// schedule.
+///
+/// This is the original entry point, kept as a thin wrapper; prefer the
+/// [`Scheduler`](crate::Scheduler) builder, which also accepts an
+/// observer.
 pub fn modulo_schedule(
     problem: &Problem<'_>,
     config: &SchedConfig,
-) -> Result<SchedOutcome, SchedError> {
+) -> Result<SchedOutcome, ScheduleError> {
+    modulo_schedule_observed(problem, config, &mut NullObserver)
+}
+
+/// [`modulo_schedule`] with scheduler events reported to `observer` —
+/// the workhorse behind [`Scheduler::run`](crate::Scheduler::run).
+///
+/// Monomorphized per observer type: with [`NullObserver`] this compiles
+/// to exactly the unobserved scheduler.
+///
+/// # Errors
+///
+/// As [`modulo_schedule`].
+pub fn modulo_schedule_observed<O: SchedObserver>(
+    problem: &Problem<'_>,
+    config: &SchedConfig,
+    observer: &mut O,
+) -> Result<SchedOutcome, ScheduleError> {
     let mut counters = Counters::new();
     let mii = compute_mii(problem, &mut counters);
 
@@ -251,11 +337,25 @@ pub fn modulo_schedule(
 
     // The cap bounds every attempt, including the first: an explicit
     // `max_ii` below the MII means no candidate II is admissible at all.
+    if cap < mii.mii {
+        return Err(ScheduleError::IiCapExceeded {
+            mii: mii.mii,
+            max_ii: cap,
+        });
+    }
     let mut ii = mii.mii;
     while ii <= cap {
-        let (result, steps) =
-            iterative_schedule_with(problem, ii, budget, config.priority, &mut counters);
+        observer.attempt_start(ii, budget);
+        let (result, steps) = iterative_schedule_observed(
+            problem,
+            ii,
+            budget,
+            config.priority,
+            &mut counters,
+            observer,
+        );
         let succeeded = result.is_some();
+        observer.attempt_done(ii, succeeded);
         stats.attempts.push(IiAttempt {
             ii,
             steps,
@@ -272,7 +372,10 @@ pub fn modulo_schedule(
         ii += 1;
     }
     stats.counters = counters;
-    Err(SchedError::IiCapExceeded { cap, mii: mii.mii })
+    Err(ScheduleError::BudgetExhausted {
+        last_ii: cap,
+        spent: stats.total_steps(),
+    })
 }
 
 /// Figure 3: one attempt at the given candidate II under the given budget.
@@ -316,13 +419,28 @@ impl PartialOrd for Cand {
 }
 
 /// [`iterative_schedule`] with an explicit priority function (§3.2's
-/// alternatives; used by the priority ablation).
+/// alternatives; used by the priority ablation). Kept as a thin wrapper
+/// over [`iterative_schedule_observed`]; prefer the
+/// [`Scheduler`](crate::Scheduler) builder for whole runs.
 pub fn iterative_schedule_with(
     problem: &Problem<'_>,
     ii: i64,
     budget: i64,
     priority: PriorityKind,
     counters: &mut Counters,
+) -> (Option<Schedule>, u64) {
+    iterative_schedule_observed(problem, ii, budget, priority, counters, &mut NullObserver)
+}
+
+/// One candidate-II attempt with scheduler events reported to `observer`
+/// (see [`SchedObserver`] for the exact hook sequence).
+pub fn iterative_schedule_observed<O: SchedObserver>(
+    problem: &Problem<'_>,
+    ii: i64,
+    budget: i64,
+    priority: PriorityKind,
+    counters: &mut Counters,
+    observer: &mut O,
 ) -> (Option<Schedule>, u64) {
     let graph = problem.graph();
     let n = graph.num_nodes();
@@ -348,6 +466,7 @@ pub fn iterative_schedule_with(
     never_scheduled[start.index()] = false;
     prev_time[start.index()] = 0;
     unscheduled -= 1;
+    observer.op_scheduled(start, 0, 0, false);
 
     // HighestPriorityOperation as a priority-sorted worklist (§3.2): the
     // heap holds exactly the unscheduled operations, keyed by priority with
@@ -393,6 +512,7 @@ pub fn iterative_schedule_with(
         if info.is_some() && budget <= 0 {
             // The budget covers real-operation scheduling steps only; it is
             // spent, so this candidate II has failed.
+            observer.budget_exhausted(ii, real_steps);
             return (None, real_steps);
         }
         let slot = match info {
@@ -400,8 +520,10 @@ pub fn iterative_schedule_with(
             Some(info) => {
                 let mut found = None;
                 let mut cur = min_time;
+                let mut search_iters = 0u32;
                 while found.is_none() && cur <= max_time {
                     counters.findslot_iters += 1;
+                    search_iters += 1;
                     let free = info
                         .alternatives
                         .iter()
@@ -412,6 +534,7 @@ pub fn iterative_schedule_with(
                         cur += 1;
                     }
                 }
+                observer.slot_search(node, estart, search_iters);
                 match found {
                     Some(t) => t,
                     None => {
@@ -429,6 +552,7 @@ pub fn iterative_schedule_with(
 
         // Schedule(node, slot): displace resource conflicts (only when the
         // slot was forced) and dependence-violating successors (§3.4).
+        let mut forced = false;
         if let Some(info) = info {
             let free = info
                 .alternatives
@@ -437,6 +561,7 @@ pub fn iterative_schedule_with(
             let chosen = match free {
                 Some(ai) => ai,
                 None => {
+                    forced = true;
                     // "all operations are unscheduled which conflict with
                     // the use of any of the alternatives".
                     for a in &info.alternatives {
@@ -445,6 +570,7 @@ pub fn iterative_schedule_with(
                             unschedule(
                                 problem,
                                 victim,
+                                node,
                                 &mut time,
                                 &mut mrt,
                                 &alternative,
@@ -452,6 +578,7 @@ pub fn iterative_schedule_with(
                                 &mut worklist,
                                 &heights,
                                 counters,
+                                observer,
                             );
                         }
                     }
@@ -467,6 +594,7 @@ pub fn iterative_schedule_with(
         never_scheduled[node.index()] = false;
         prev_time[node.index()] = slot;
         unscheduled -= 1;
+        observer.op_scheduled(node, slot, alternative[node.index()], forced);
 
         // Displace scheduled immediate successors whose dependence
         // constraint the new placement violates.
@@ -479,6 +607,7 @@ pub fn iterative_schedule_with(
                     unschedule(
                         problem,
                         e.to,
+                        node,
                         &mut time,
                         &mut mrt,
                         &alternative,
@@ -486,6 +615,7 @@ pub fn iterative_schedule_with(
                         &mut worklist,
                         &heights,
                         counters,
+                        observer,
                     );
                 }
             }
@@ -506,9 +636,10 @@ pub fn iterative_schedule_with(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn unschedule(
+fn unschedule<O: SchedObserver>(
     problem: &Problem<'_>,
     victim: NodeId,
+    evictor: NodeId,
     time: &mut [Option<i64>],
     mrt: &mut Mrt,
     alternative: &[usize],
@@ -516,8 +647,10 @@ fn unschedule(
     worklist: &mut BinaryHeap<Cand>,
     heights: &[i64],
     counters: &mut Counters,
+    observer: &mut O,
 ) {
     counters.evictions += 1;
+    observer.op_evicted(victim, evictor);
     let t = time[victim.index()]
         .take()
         .expect("only scheduled operations are displaced");
@@ -648,14 +781,7 @@ mod tests {
         // still terminate with a valid (if larger-II) schedule.
         let m = minimal();
         let p = chain(&m, &[Opcode::Add; 8]);
-        let out = modulo_schedule(
-            &p,
-            &SchedConfig {
-                budget_ratio: 1.0,
-                ..SchedConfig::default()
-            },
-        )
-        .unwrap();
+        let out = modulo_schedule(&p, &SchedConfig::new().budget_ratio(1.0)).unwrap();
         assert!(validate_schedule(&p, &out.schedule).is_ok());
         assert!(out.schedule.ii >= out.mii.mii);
     }
@@ -672,7 +798,7 @@ mod tests {
     }
 
     #[test]
-    fn ii_cap_error_surfaces() {
+    fn budget_exhaustion_up_to_the_cap_is_a_structured_error() {
         // A budget too small to schedule the loop (one real step for two
         // operations) fails at every candidate II; the cap turns that into
         // an error instead of an infinite search.
@@ -685,14 +811,29 @@ mod tests {
         let p = pb.finish();
         let err = modulo_schedule(
             &p,
-            &SchedConfig {
-                budget_ratio: 0.1, // budget rounds up to 1 real step of 2 needed
-                max_ii: Some(3),
-                ..SchedConfig::default()
-            },
+            // budget rounds up to 1 real step of the 2 needed
+            &SchedConfig::new().budget_ratio(0.1).max_ii(3),
         )
         .unwrap_err();
-        assert!(matches!(err, SchedError::IiCapExceeded { cap: 3, .. }));
+        match err {
+            ScheduleError::BudgetExhausted { last_ii, spent } => {
+                assert_eq!(last_ii, 3, "every II up to the cap was attempted");
+                assert!(spent >= 1, "each failed attempt spent its one step");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn ii_cap_below_mii_is_rejected_without_an_attempt() {
+        let m = minimal();
+        let mut pb = ProblemBuilder::new(&m);
+        let a = pb.add_op(Opcode::Add, OpId(0));
+        pb.add_dep(a, a, 5, 1, DepKind::Flow, false); // RecMII 5
+        let p = pb.finish();
+        let err = modulo_schedule(&p, &SchedConfig::new().max_ii(4)).unwrap_err();
+        assert_eq!(err, ScheduleError::IiCapExceeded { mii: 5, max_ii: 4 });
         assert!(!err.to_string().is_empty());
     }
 
@@ -709,14 +850,7 @@ mod tests {
         let mut pb = ProblemBuilder::new(&m);
         let _ = pb.add_op(Opcode::Add, OpId(0));
         let p = pb.finish();
-        let out = modulo_schedule(
-            &p,
-            &SchedConfig {
-                budget_ratio: 0.5,
-                ..SchedConfig::default()
-            },
-        )
-        .unwrap();
+        let out = modulo_schedule(&p, &SchedConfig::new().budget_ratio(0.5)).unwrap();
         assert_eq!(out.schedule.ii, out.mii.mii);
         assert_eq!(out.stats.attempts.len(), 1, "first candidate II succeeds");
         assert_eq!(out.stats.final_steps(), 1, "exactly one real step spent");

@@ -40,6 +40,15 @@ impl Histogram {
         self.total += 1;
     }
 
+    /// Merges every observation of `other` into `self` (used when
+    /// aggregating per-loop trace metrics across a corpus).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in &other.counts {
+            *self.counts.entry(*v).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
     /// Number of observations exactly equal to `value`.
     pub fn count_of(&self, value: i64) -> u64 {
         self.counts.get(&value).copied().unwrap_or(0)
@@ -135,6 +144,18 @@ mod tests {
         assert_eq!(h.fraction_at_most(0), 0.75);
         assert_eq!(h.fraction_at_most(1), 1.0);
         assert_eq!(Histogram::new().fraction_at_most(5), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_totals() {
+        let mut a: Histogram = [0, 1, 1].into_iter().collect();
+        let b: Histogram = [1, 2].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count_of(1), 3);
+        assert_eq!(a.count_of(2), 1);
+        assert_eq!(a.total(), 5);
+        a.merge(&Histogram::new());
+        assert_eq!(a.total(), 5);
     }
 
     #[test]

@@ -100,7 +100,27 @@ pub enum JsonValue {
     Bool(bool),
 }
 
-fn push_field(out: &mut String, key: &str, value: &JsonValue) {
+/// Renders a complete JSON object line from `(key, value)` pairs, in
+/// order. This is the escaping/rendering core shared by
+/// [`BenchResult::json_line`] and the `ims-trace` event writer, so every
+/// JSON line the workspace emits goes through one escaper.
+pub fn json_object(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::with_capacity(32 + fields.len() * 16);
+    out.push('{');
+    for (key, value) in fields {
+        push_field(&mut out, key, value);
+    }
+    if fields.is_empty() {
+        out.push('}');
+    } else {
+        out.pop(); // trailing comma
+        out.push('}');
+    }
+    out
+}
+
+/// Appends `"key":value,` to `out`, escaping the key and any string value.
+pub fn push_field(out: &mut String, key: &str, value: &JsonValue) {
     out.push('"');
     escape_into(out, key);
     out.push_str("\":");
@@ -119,7 +139,9 @@ fn push_field(out: &mut String, key: &str, value: &JsonValue) {
     out.push(',');
 }
 
-fn escape_into(out: &mut String, s: &str) {
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and control characters).
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -206,6 +228,17 @@ mod tests {
         assert!(line.contains(r#""ok":true"#), "{line}");
         assert!(line.contains(r#""tag":"a\\b""#), "{line}");
         assert!(!line.contains(",}"), "{line}");
+    }
+
+    #[test]
+    fn json_object_renders_fields_in_order() {
+        let line = json_object(&[
+            ("ev", JsonValue::Str("op_scheduled".into())),
+            ("node", JsonValue::U64(3)),
+            ("forced", JsonValue::Bool(false)),
+        ]);
+        assert_eq!(line, r#"{"ev":"op_scheduled","node":3,"forced":false}"#);
+        assert_eq!(json_object(&[]), "{}");
     }
 
     #[test]

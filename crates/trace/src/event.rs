@@ -1,0 +1,276 @@
+//! The trace event type and its JSON-lines encoding.
+//!
+//! One [`SchedEvent`] corresponds to one [`SchedObserver`] hook firing.
+//! The wire format is one JSON object per line, with a fixed `"ev"`
+//! discriminant and integer/boolean payload fields — no floats, no
+//! timestamps, no thread identity — so a trace is byte-deterministic for
+//! a given problem and configuration regardless of how many worker
+//! threads scheduled the corpus around it.
+//!
+//! [`SchedObserver`]: ims_core::SchedObserver
+
+use ims_testkit::bench::{json_object, JsonValue};
+
+/// One scheduler event, mirroring the hooks of
+/// [`SchedObserver`](ims_core::SchedObserver). Node identities are raw
+/// graph indices (`NodeId::index()`), which include the START/STOP
+/// pseudo-operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// An attempt at candidate II began with the given step budget.
+    AttemptStart {
+        /// The candidate initiation interval.
+        ii: i64,
+        /// Operation-scheduling steps available.
+        budget: i64,
+    },
+    /// An operation was placed.
+    OpScheduled {
+        /// Graph index of the operation.
+        node: u32,
+        /// Issue time assigned.
+        time: i64,
+        /// Reservation-table alternative chosen.
+        alt: usize,
+        /// Whether the placement was forced (§3.4 displacement).
+        forced: bool,
+    },
+    /// An operation was displaced by another's placement.
+    OpEvicted {
+        /// Graph index of the displaced operation.
+        node: u32,
+        /// Graph index of the operation whose placement displaced it.
+        evictor: u32,
+    },
+    /// `FindTimeSlot` examined candidate slots for an operation.
+    SlotSearch {
+        /// Graph index of the operation.
+        node: u32,
+        /// The Estart the search began at.
+        estart: i64,
+        /// Number of slots examined.
+        iters: u32,
+    },
+    /// The attempt at `ii` ran out of budget.
+    BudgetExhausted {
+        /// The candidate initiation interval.
+        ii: i64,
+        /// Steps spent before giving up.
+        spent: u64,
+    },
+    /// The attempt at `ii` finished.
+    AttemptDone {
+        /// The candidate initiation interval.
+        ii: i64,
+        /// Whether every operation was scheduled.
+        ok: bool,
+    },
+}
+
+impl SchedEvent {
+    /// The `"ev"` discriminant this event serializes under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedEvent::AttemptStart { .. } => "attempt_start",
+            SchedEvent::OpScheduled { .. } => "op_scheduled",
+            SchedEvent::OpEvicted { .. } => "op_evicted",
+            SchedEvent::SlotSearch { .. } => "slot_search",
+            SchedEvent::BudgetExhausted { .. } => "budget_exhausted",
+            SchedEvent::AttemptDone { .. } => "attempt_done",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let ev = ("ev", JsonValue::Str(self.name().into()));
+        match *self {
+            SchedEvent::AttemptStart { ii, budget } => json_object(&[
+                ev,
+                ("ii", JsonValue::I64(ii)),
+                ("budget", JsonValue::I64(budget)),
+            ]),
+            SchedEvent::OpScheduled {
+                node,
+                time,
+                alt,
+                forced,
+            } => json_object(&[
+                ev,
+                ("node", JsonValue::U64(node as u64)),
+                ("time", JsonValue::I64(time)),
+                ("alt", JsonValue::U64(alt as u64)),
+                ("forced", JsonValue::Bool(forced)),
+            ]),
+            SchedEvent::OpEvicted { node, evictor } => json_object(&[
+                ev,
+                ("node", JsonValue::U64(node as u64)),
+                ("evictor", JsonValue::U64(evictor as u64)),
+            ]),
+            SchedEvent::SlotSearch {
+                node,
+                estart,
+                iters,
+            } => json_object(&[
+                ev,
+                ("node", JsonValue::U64(node as u64)),
+                ("estart", JsonValue::I64(estart)),
+                ("iters", JsonValue::U64(iters as u64)),
+            ]),
+            SchedEvent::BudgetExhausted { ii, spent } => json_object(&[
+                ev,
+                ("ii", JsonValue::I64(ii)),
+                ("spent", JsonValue::U64(spent)),
+            ]),
+            SchedEvent::AttemptDone { ii, ok } => {
+                json_object(&[ev, ("ii", JsonValue::I64(ii)), ("ok", JsonValue::Bool(ok))])
+            }
+        }
+    }
+
+    /// Parses one JSON trace line back into an event. Returns `None` for
+    /// anything that is not a well-formed event line (unknown `"ev"`,
+    /// missing fields, non-numeric payloads).
+    pub fn parse(line: &str) -> Option<SchedEvent> {
+        let line = line.trim();
+        let ev = str_field(line, "ev")?;
+        Some(match ev {
+            "attempt_start" => SchedEvent::AttemptStart {
+                ii: i64_field(line, "ii")?,
+                budget: i64_field(line, "budget")?,
+            },
+            "op_scheduled" => SchedEvent::OpScheduled {
+                node: i64_field(line, "node")?.try_into().ok()?,
+                time: i64_field(line, "time")?,
+                alt: i64_field(line, "alt")?.try_into().ok()?,
+                forced: bool_field(line, "forced")?,
+            },
+            "op_evicted" => SchedEvent::OpEvicted {
+                node: i64_field(line, "node")?.try_into().ok()?,
+                evictor: i64_field(line, "evictor")?.try_into().ok()?,
+            },
+            "slot_search" => SchedEvent::SlotSearch {
+                node: i64_field(line, "node")?.try_into().ok()?,
+                estart: i64_field(line, "estart")?,
+                iters: i64_field(line, "iters")?.try_into().ok()?,
+            },
+            "budget_exhausted" => SchedEvent::BudgetExhausted {
+                ii: i64_field(line, "ii")?,
+                spent: i64_field(line, "spent")?.try_into().ok()?,
+            },
+            "attempt_done" => SchedEvent::AttemptDone {
+                ii: i64_field(line, "ii")?,
+                ok: bool_field(line, "ok")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Parses every line of a trace, skipping lines that are not events
+/// (blank lines); returns `None` if any non-blank line fails to parse.
+pub fn parse_trace(text: &str) -> Option<Vec<SchedEvent>> {
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(SchedEvent::parse(line)?);
+    }
+    Some(events)
+}
+
+/// The raw text of `key`'s value in a single-level JSON object line.
+/// Sufficient for the trace schema: values are integers, booleans, or
+/// strings without embedded commas/braces.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn i64_field(line: &str, key: &str) -> Option<i64> {
+    raw_field(line, key)?.parse().ok()
+}
+
+fn bool_field(line: &str, key: &str) -> Option<bool> {
+    match raw_field(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    raw_field(line, key)?
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<SchedEvent> {
+        vec![
+            SchedEvent::AttemptStart { ii: 4, budget: 12 },
+            SchedEvent::OpScheduled {
+                node: 3,
+                time: -2,
+                alt: 1,
+                forced: true,
+            },
+            SchedEvent::OpEvicted {
+                node: 5,
+                evictor: 3,
+            },
+            SchedEvent::SlotSearch {
+                node: 3,
+                estart: 7,
+                iters: 4,
+            },
+            SchedEvent::BudgetExhausted { ii: 4, spent: 12 },
+            SchedEvent::AttemptDone { ii: 5, ok: true },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip_every_variant() {
+        for ev in all_variants() {
+            let line = ev.to_json_line();
+            assert_eq!(SchedEvent::parse(&line), Some(ev), "{line}");
+        }
+    }
+
+    #[test]
+    fn lines_are_flat_json_objects() {
+        for ev in all_variants() {
+            let line = ev.to_json_line();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'));
+            assert!(line.contains(&format!("\"ev\":\"{}\"", ev.name())));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert_eq!(SchedEvent::parse(""), None);
+        assert_eq!(SchedEvent::parse("{}"), None);
+        assert_eq!(SchedEvent::parse(r#"{"ev":"unknown","ii":1}"#), None);
+        assert_eq!(SchedEvent::parse(r#"{"ev":"attempt_start","ii":1}"#), None);
+        assert_eq!(
+            SchedEvent::parse(r#"{"ev":"attempt_done","ii":2,"ok":maybe}"#),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_trace_collects_lines_and_skips_blanks() {
+        let text = "{\"ev\":\"attempt_start\",\"ii\":2,\"budget\":4}\n\n\
+                    {\"ev\":\"attempt_done\",\"ii\":2,\"ok\":true}\n";
+        let events = parse_trace(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(parse_trace("not json\n"), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! An observer that aggregates scheduler events into `ims-stats`
+//! histograms.
+
+use std::collections::BTreeMap;
+
+use ims_core::SchedObserver;
+use ims_graph::NodeId;
+use ims_stats::Histogram;
+
+/// Aggregates a run's events into the distributions §4 reasons about:
+/// how often each operation is displaced, how much budget each candidate
+/// II consumes, and how long the slot searches are.
+///
+/// One `MetricsObserver` can aggregate any number of runs — attach the
+/// same instance to several [`Scheduler`](ims_core::Scheduler) runs, or
+/// [`merge`](MetricsObserver::merge) per-loop instances collected across
+/// a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsObserver {
+    /// Eviction count per node index.
+    evict_counts: BTreeMap<u32, u64>,
+    /// Real-operation scheduling steps spent per candidate II, summed
+    /// over attempts at that II.
+    spent_by_ii: BTreeMap<i64, u64>,
+    /// Distribution of `FindTimeSlot` iteration counts, one observation
+    /// per slot search.
+    slot_iters: Histogram,
+    /// Candidate-II attempts seen (`attempt_start` events).
+    attempts: u64,
+    /// Failed attempts (`budget_exhausted` events).
+    exhausted: u64,
+    /// The candidate II currently being attempted.
+    current_ii: Option<i64>,
+}
+
+impl MetricsObserver {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of evictions observed.
+    pub fn total_evictions(&self) -> u64 {
+        self.evict_counts.values().sum()
+    }
+
+    /// Number of candidate-II attempts observed.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Number of attempts that ran out of budget.
+    pub fn exhausted_attempts(&self) -> u64 {
+        self.exhausted
+    }
+
+    /// The distribution of per-node eviction counts, over nodes that
+    /// were evicted at least once.
+    pub fn evictions_histogram(&self) -> Histogram {
+        self.evict_counts
+            .values()
+            .map(|&c| i64::try_from(c).unwrap_or(i64::MAX))
+            .collect()
+    }
+
+    /// The most-evicted nodes, as `(node, evictions)` sorted by
+    /// descending count (ties to the smaller node index), truncated to
+    /// `limit` entries.
+    pub fn top_evicted(&self, limit: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.evict_counts.iter().map(|(&n, &c)| (n, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(limit);
+        v
+    }
+
+    /// Real-operation scheduling steps spent per candidate II, in
+    /// ascending II order.
+    pub fn spent_by_ii(&self) -> Vec<(i64, u64)> {
+        self.spent_by_ii.iter().map(|(&ii, &s)| (ii, s)).collect()
+    }
+
+    /// The distribution of budget spent per candidate II (one
+    /// observation per II, value = steps spent at that II).
+    pub fn budget_histogram(&self) -> Histogram {
+        self.spent_by_ii
+            .values()
+            .map(|&s| i64::try_from(s).unwrap_or(i64::MAX))
+            .collect()
+    }
+
+    /// The distribution of `FindTimeSlot` iteration counts.
+    pub fn slot_iters_histogram(&self) -> &Histogram {
+        &self.slot_iters
+    }
+
+    /// Folds another aggregate into this one (per-node counts and per-II
+    /// budgets add; histograms merge).
+    pub fn merge(&mut self, other: &MetricsObserver) {
+        for (&n, &c) in &other.evict_counts {
+            *self.evict_counts.entry(n).or_insert(0) += c;
+        }
+        for (&ii, &s) in &other.spent_by_ii {
+            *self.spent_by_ii.entry(ii).or_insert(0) += s;
+        }
+        self.slot_iters.merge(&other.slot_iters);
+        self.attempts += other.attempts;
+        self.exhausted += other.exhausted;
+    }
+}
+
+impl SchedObserver for MetricsObserver {
+    fn attempt_start(&mut self, ii: i64, _budget: i64) {
+        self.attempts += 1;
+        self.current_ii = Some(ii);
+        self.spent_by_ii.entry(ii).or_insert(0);
+    }
+    fn op_evicted(&mut self, node: NodeId, _evictor: NodeId) {
+        *self.evict_counts.entry(node.0).or_insert(0) += 1;
+    }
+    fn slot_search(&mut self, _node: NodeId, _estart: i64, iters: u32) {
+        // One slot search per real-operation scheduling step: the search
+        // count doubles as the attempt's budget consumption.
+        self.slot_iters.add(iters as i64);
+        if let Some(ii) = self.current_ii {
+            *self.spent_by_ii.entry(ii).or_insert(0) += 1;
+        }
+    }
+    fn budget_exhausted(&mut self, _ii: i64, _spent: u64) {
+        self.exhausted += 1;
+    }
+    fn attempt_done(&mut self, _ii: i64, _ok: bool) {
+        self.current_ii = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_tracks_attempts_evictions_and_budget() {
+        let mut m = MetricsObserver::new();
+        m.attempt_start(3, 8);
+        m.slot_search(NodeId(1), 0, 3);
+        m.slot_search(NodeId(2), 1, 1);
+        m.op_evicted(NodeId(2), NodeId(1));
+        m.op_evicted(NodeId(2), NodeId(1));
+        m.budget_exhausted(3, 2);
+        m.attempt_done(3, false);
+        m.attempt_start(4, 8);
+        m.slot_search(NodeId(1), 0, 1);
+        m.attempt_done(4, true);
+
+        assert_eq!(m.attempts(), 2);
+        assert_eq!(m.exhausted_attempts(), 1);
+        assert_eq!(m.total_evictions(), 2);
+        assert_eq!(m.spent_by_ii(), vec![(3, 2), (4, 1)]);
+        assert_eq!(m.top_evicted(4), vec![(2, 2)]);
+        assert_eq!(m.evictions_histogram().count_of(2), 1);
+        assert_eq!(m.slot_iters_histogram().total(), 3);
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = MetricsObserver::new();
+        a.attempt_start(2, 4);
+        a.slot_search(NodeId(1), 0, 2);
+        a.op_evicted(NodeId(1), NodeId(2));
+        a.attempt_done(2, true);
+        let mut b = MetricsObserver::new();
+        b.attempt_start(2, 4);
+        b.slot_search(NodeId(1), 0, 5);
+        b.op_evicted(NodeId(1), NodeId(2));
+        b.attempt_done(2, true);
+
+        let mut all = MetricsObserver::new();
+        all.merge(&a);
+        all.merge(&b);
+        assert_eq!(all.attempts(), 2);
+        assert_eq!(all.total_evictions(), 2);
+        assert_eq!(all.spent_by_ii(), vec![(2, 2)]);
+        assert_eq!(all.slot_iters_histogram().total(), 2);
+        assert_eq!(all.top_evicted(1), vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Concrete observers: an in-memory [`Recorder`] and a JSON-lines
+//! [`TraceWriter`].
+
+use std::io::Write;
+
+use ims_core::SchedObserver;
+use ims_graph::NodeId;
+
+use crate::event::SchedEvent;
+
+/// An observer that buffers every event in memory, for replay and
+/// in-process analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    /// Every event observed, in emission order.
+    pub events: Vec<SchedEvent>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedObserver for Recorder {
+    fn attempt_start(&mut self, ii: i64, budget: i64) {
+        self.events.push(SchedEvent::AttemptStart { ii, budget });
+    }
+    fn op_scheduled(&mut self, node: NodeId, time: i64, alt: usize, forced: bool) {
+        self.events.push(SchedEvent::OpScheduled {
+            node: node.0,
+            time,
+            alt,
+            forced,
+        });
+    }
+    fn op_evicted(&mut self, node: NodeId, evictor: NodeId) {
+        self.events.push(SchedEvent::OpEvicted {
+            node: node.0,
+            evictor: evictor.0,
+        });
+    }
+    fn slot_search(&mut self, node: NodeId, estart: i64, iters: u32) {
+        self.events.push(SchedEvent::SlotSearch {
+            node: node.0,
+            estart,
+            iters,
+        });
+    }
+    fn budget_exhausted(&mut self, ii: i64, spent: u64) {
+        self.events.push(SchedEvent::BudgetExhausted { ii, spent });
+    }
+    fn attempt_done(&mut self, ii: i64, ok: bool) {
+        self.events.push(SchedEvent::AttemptDone { ii, ok });
+    }
+}
+
+/// An observer that renders every event as one JSON line into a
+/// [`Write`] sink (a `Vec<u8>` buffer, a file, a socket...).
+///
+/// The encoding contains nothing non-deterministic — no timestamps, no
+/// thread identity — so for a given problem and configuration the trace
+/// bytes are identical on every run and at every `--threads` value of
+/// the corpus drivers.
+///
+/// Write errors are not surfaced mid-run (the scheduler's hot loop has
+/// no error channel); the first error stops further writing and is
+/// returned by [`finish`](TraceWriter::finish).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        TraceWriter { sink, error: None }
+    }
+
+    /// Appends one event line.
+    pub fn write_event(&mut self, event: &SchedEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json_line();
+        line.push('\n');
+        if let Err(e) = self.sink.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Flushes and returns the sink, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => {
+                self.sink.flush()?;
+                Ok(self.sink)
+            }
+        }
+    }
+}
+
+impl TraceWriter<Vec<u8>> {
+    /// A writer into a fresh in-memory buffer — the deterministic
+    /// per-loop sink the corpus drivers collect before writing files.
+    pub fn in_memory() -> Self {
+        TraceWriter::new(Vec::new())
+    }
+
+    /// The buffered trace as UTF-8 (infallible: the writer only ever
+    /// emits ASCII JSON).
+    pub fn into_string(self) -> String {
+        let bytes = self.finish().expect("in-memory writes cannot fail");
+        String::from_utf8(bytes).expect("trace lines are ASCII")
+    }
+}
+
+impl<W: Write> SchedObserver for TraceWriter<W> {
+    fn attempt_start(&mut self, ii: i64, budget: i64) {
+        self.write_event(&SchedEvent::AttemptStart { ii, budget });
+    }
+    fn op_scheduled(&mut self, node: NodeId, time: i64, alt: usize, forced: bool) {
+        self.write_event(&SchedEvent::OpScheduled {
+            node: node.0,
+            time,
+            alt,
+            forced,
+        });
+    }
+    fn op_evicted(&mut self, node: NodeId, evictor: NodeId) {
+        self.write_event(&SchedEvent::OpEvicted {
+            node: node.0,
+            evictor: evictor.0,
+        });
+    }
+    fn slot_search(&mut self, node: NodeId, estart: i64, iters: u32) {
+        self.write_event(&SchedEvent::SlotSearch {
+            node: node.0,
+            estart,
+            iters,
+        });
+    }
+    fn budget_exhausted(&mut self, ii: i64, spent: u64) {
+        self.write_event(&SchedEvent::BudgetExhausted { ii, spent });
+    }
+    fn attempt_done(&mut self, ii: i64, ok: bool) {
+        self.write_event(&SchedEvent::AttemptDone { ii, ok });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    fn fire_all<O: SchedObserver>(obs: &mut O) {
+        obs.attempt_start(2, 10);
+        obs.slot_search(NodeId(1), 0, 2);
+        obs.op_evicted(NodeId(3), NodeId(1));
+        obs.op_scheduled(NodeId(1), 0, 0, true);
+        obs.budget_exhausted(2, 10);
+        obs.attempt_done(2, false);
+    }
+
+    #[test]
+    fn recorder_and_writer_agree() {
+        let mut rec = Recorder::new();
+        let mut wr = TraceWriter::in_memory();
+        fire_all(&mut rec);
+        fire_all(&mut wr);
+        let text = wr.into_string();
+        assert_eq!(parse_trace(&text).unwrap(), rec.events);
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn write_errors_surface_in_finish() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink broke"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wr = TraceWriter::new(Broken);
+        wr.attempt_start(2, 10);
+        wr.attempt_done(2, true); // silently dropped after the error
+        assert!(wr.finish().is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Schedule reconstruction from a trace.
+//!
+//! `op_scheduled` / `op_evicted` events carry enough information to
+//! rebuild the scheduler's placement state move by move: set the node's
+//! time (and alternative) on a placement, clear it on an eviction, and
+//! reset everything when a new candidate-II attempt starts. After the
+//! last event of a successful run, the reconstructed state *is* the
+//! final schedule — the workspace's property tests pin this equivalence
+//! against `Schedule.time`.
+
+use crate::event::SchedEvent;
+
+/// Placement state reconstructed by [`replay`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayedSchedule {
+    /// Issue time per node index; `None` for nodes unscheduled at the end
+    /// of the trace (all `Some` after a successful run).
+    pub time: Vec<Option<i64>>,
+    /// Chosen alternative per node index (0 unless a placement said
+    /// otherwise).
+    pub alternative: Vec<usize>,
+}
+
+impl ReplayedSchedule {
+    fn ensure(&mut self, node: u32) {
+        let need = node as usize + 1;
+        if self.time.len() < need {
+            self.time.resize(need, None);
+            self.alternative.resize(need, 0);
+        }
+    }
+
+    /// The reconstructed times, unwrapped; `None` if any node is still
+    /// unscheduled (the trace ended in a failed attempt).
+    pub fn final_times(&self) -> Option<Vec<i64>> {
+        self.time.iter().copied().collect()
+    }
+}
+
+/// Replays a trace's placement events into the final schedule state.
+pub fn replay(events: &[SchedEvent]) -> ReplayedSchedule {
+    let mut state = ReplayedSchedule::default();
+    for ev in events {
+        match *ev {
+            SchedEvent::AttemptStart { .. } => {
+                // Each candidate-II attempt starts from scratch.
+                state.time.fill(None);
+                state.alternative.fill(0);
+            }
+            SchedEvent::OpScheduled {
+                node, time, alt, ..
+            } => {
+                state.ensure(node);
+                state.time[node as usize] = Some(time);
+                state.alternative[node as usize] = alt;
+            }
+            SchedEvent::OpEvicted { node, .. } => {
+                state.ensure(node);
+                state.time[node as usize] = None;
+            }
+            SchedEvent::SlotSearch { .. }
+            | SchedEvent::BudgetExhausted { .. }
+            | SchedEvent::AttemptDone { .. } => {}
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_applies_placements_and_evictions_in_order() {
+        let events = [
+            SchedEvent::AttemptStart { ii: 2, budget: 4 },
+            SchedEvent::OpScheduled {
+                node: 0,
+                time: 0,
+                alt: 0,
+                forced: false,
+            },
+            SchedEvent::OpScheduled {
+                node: 1,
+                time: 1,
+                alt: 1,
+                forced: false,
+            },
+            SchedEvent::OpEvicted {
+                node: 1,
+                evictor: 2,
+            },
+            SchedEvent::OpScheduled {
+                node: 2,
+                time: 1,
+                alt: 0,
+                forced: true,
+            },
+            SchedEvent::OpScheduled {
+                node: 1,
+                time: 3,
+                alt: 0,
+                forced: false,
+            },
+        ];
+        let s = replay(&events);
+        assert_eq!(s.final_times(), Some(vec![0, 3, 1]));
+        assert_eq!(s.alternative, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn attempt_start_resets_state() {
+        let events = [
+            SchedEvent::AttemptStart { ii: 2, budget: 1 },
+            SchedEvent::OpScheduled {
+                node: 0,
+                time: 5,
+                alt: 0,
+                forced: false,
+            },
+            SchedEvent::AttemptDone { ii: 2, ok: false },
+            SchedEvent::AttemptStart { ii: 3, budget: 1 },
+        ];
+        let s = replay(&events);
+        assert_eq!(s.time, vec![None]);
+        assert_eq!(s.final_times(), None);
+    }
+}

@@ -7,10 +7,11 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use ims::core::display::{format_kernel, format_schedule};
-use ims::core::{modulo_schedule, validate_schedule, SchedConfig};
+use ims::core::validate_schedule;
 use ims::deps::{back_substitute, build_problem, BuildOptions};
 use ims::ir::{LoopBuilder, MemRef, Value};
 use ims::machine::cydra;
+use ims::prelude::*;
 
 fn main() {
     // --- 1. Write the loop in IR -------------------------------------
@@ -43,7 +44,16 @@ fn main() {
     );
 
     // --- 3. Iterative modulo scheduling ------------------------------
-    let outcome = modulo_schedule(&problem, &SchedConfig::default())
+    // The builder is the one entry point: configuration via chainable
+    // setters, and an optional observer watching every decision. Here a
+    // Recorder captures the event stream so we can print a convergence
+    // summary afterwards; pass `&mut NullObserver` (or nothing) for a
+    // zero-overhead run, or a `TraceWriter` to stream JSON lines.
+    let mut recorder = Recorder::default();
+    let outcome = Scheduler::new(&problem)
+        .config(SchedConfig::new().budget_ratio(6.0))
+        .observer(&mut recorder)
+        .run()
         .expect("every well-formed loop schedules");
     println!(
         "ResMII = {}, RecMII = {}, MII = {}  ->  achieved II = {} (DeltaII = {})",
@@ -62,6 +72,10 @@ fn main() {
     // The schedule is independently validated against every dependence and
     // the modulo reservation table.
     validate_schedule(&problem, &outcome.schedule).expect("schedule is legal");
+
+    // The recorded events reconstruct how the scheduler got there.
+    let summary = TraceSummary::from_events(&recorder.events);
+    println!("convergence: {}", summary.render_line("dot"));
 
     // --- 4. Show the schedule and the kernel --------------------------
     println!("\nflat schedule:\n{}", format_schedule(&problem, &outcome.schedule));

@@ -29,6 +29,25 @@ if ! diff -q "$t1_log" "$t4_log" >/dev/null; then
 fi
 echo "    byte-identical at --threads 1 and --threads 4 (120 loops)"
 
+echo "==> trace determinism across thread counts"
+tr1_dir=$(mktemp -d)
+tr4_dir=$(mktemp -d)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log"; rm -rf "$tr1_dir" "$tr4_dir"' EXIT
+cargo run --release --offline -q -p ims-bench --bin corpus -- \
+    --loops 60 --threads 1 --trace "$tr1_dir" >/dev/null 2>/dev/null
+cargo run --release --offline -q -p ims-bench --bin corpus -- \
+    --loops 60 --threads 4 --trace "$tr4_dir" >/dev/null 2>/dev/null
+if ! diff -r -q "$tr1_dir" "$tr4_dir" >/dev/null; then
+    echo "FAIL: --trace output differs between --threads 1 and --threads 4" >&2
+    diff -r "$tr1_dir" "$tr4_dir" | head >&2
+    exit 1
+fi
+n_traces=$(ls "$tr1_dir" | wc -l)
+echo "    $n_traces per-loop traces byte-identical at --threads 1 and --threads 4"
+cargo run --release --offline -q -p ims-bench --bin trace_report -- \
+    "$tr1_dir" --top 3 >/dev/null
+echo "    trace_report renders the trace directory"
+
 echo "==> cargo doc --no-deps --offline (warnings are errors)"
 cargo doc --no-deps --offline --workspace 2>&1 | tee "$doc_log"
 if grep -q "^warning" "$doc_log"; then

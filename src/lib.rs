@@ -15,12 +15,32 @@
 //!   unrolling, prologue/epilogue ([`codegen`]),
 //! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
 //! * a benchmark-loop corpus generator ([`loopgen`]),
-//! * the statistics toolkit used by the evaluation harness ([`stats`]), and
+//! * the statistics toolkit used by the evaluation harness ([`stats`]),
+//! * event-level scheduler observability — JSON-lines traces, replay,
+//!   convergence reports ([`mod@trace`]), and
 //! * the corpus measurement harness with its parallel scheduling driver
 //!   ([`mod@bench`]).
 //!
 //! This facade crate re-exports all of them under one roof. Downstream users
-//! can either depend on `ims` or on the individual `ims-*` crates.
+//! can either depend on `ims` or on the individual `ims-*` crates; the
+//! [`prelude`] pulls in everything a typical scheduling session needs:
+//!
+//! ```
+//! use ims::prelude::*;
+//!
+//! let machine = ims::machine::minimal();
+//! let mut pb = ProblemBuilder::new(&machine);
+//! let _ = pb.add_op(ims::ir::Opcode::Add, ims::ir::OpId(0));
+//! let problem = pb.finish();
+//!
+//! let mut tracer = TraceWriter::in_memory();
+//! let out = Scheduler::new(&problem)
+//!     .config(SchedConfig::new().budget_ratio(4.0))
+//!     .observer(&mut tracer)
+//!     .run()
+//!     .expect("schedules");
+//! assert_eq!(out.schedule.ii, 1);
+//! ```
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
 //! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -34,4 +54,20 @@ pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
 pub use ims_machine as machine;
 pub use ims_stats as stats;
+pub use ims_trace as trace;
 pub use ims_vliw as vliw;
+
+/// One-stop imports for driving the scheduler and observing it.
+///
+/// Re-exports the builder-style entry point ([`Scheduler`](ims_core::Scheduler)), its
+/// configuration and error types, the observer trait, and the concrete
+/// observers/trace utilities from [`mod@trace`].
+pub mod prelude {
+    pub use ims_core::{
+        modulo_schedule, NullObserver, ProblemBuilder, SchedConfig, SchedObserver, SchedOutcome,
+        ScheduleError, Scheduler,
+    };
+    pub use ims_trace::{
+        parse_trace, replay, MetricsObserver, Recorder, SchedEvent, TraceSummary, TraceWriter,
+    };
+}

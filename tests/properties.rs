@@ -143,6 +143,73 @@ fn wider_machines_never_raise_the_mii() {
 }
 
 #[test]
+fn trace_replay_reconstructs_the_schedule() {
+    use ims::prelude::*;
+
+    check(
+        "trace_replay_reconstructs_the_schedule",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let mut tracer = TraceWriter::in_memory();
+            let out = Scheduler::new(&problem)
+                .observer(&mut tracer)
+                .run()
+                .expect("schedules");
+            let text = tracer.into_string();
+            let events = parse_trace(&text).expect("every emitted line parses");
+            // The trace is a faithful record: replaying the placement and
+            // eviction events alone reconstructs the final schedule.
+            let times = replay(&events).final_times().expect("complete schedule");
+            prop_assert_eq!(&times, &out.schedule.time);
+            // And the summary agrees with the scheduler's own accounting.
+            let summary = TraceSummary::from_events(&events);
+            prop_assert_eq!(summary.final_ii(), Some(out.schedule.ii));
+            prop_assert_eq!(summary.total_steps(), out.stats.total_steps());
+            prop_assert_eq!(summary.evictions, out.stats.counters.evictions);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn null_observer_is_invisible() {
+    use ims::prelude::*;
+
+    check(
+        "null_observer_is_invisible",
+        &PropConfig::with_cases(64),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let legacy = modulo_schedule(&problem, &SchedConfig::default()).expect("schedules");
+            let built = Scheduler::new(&problem)
+                .observer(&mut NullObserver)
+                .run()
+                .expect("schedules");
+            // The builder with the no-op observer is the legacy entry
+            // point: same schedule, same instrumentation counters.
+            prop_assert_eq!(&built.schedule.time, &legacy.schedule.time);
+            prop_assert_eq!(built.schedule.ii, legacy.schedule.ii);
+            prop_assert_eq!(built.stats.total_steps(), legacy.stats.total_steps());
+            prop_assert_eq!(
+                built.stats.counters.findslot_iters,
+                legacy.stats.counters.findslot_iters
+            );
+            prop_assert_eq!(built.stats.counters.evictions, legacy.stats.counters.evictions);
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn back_substitution_never_raises_the_mii() {
     check(
         "back_substitution_never_raises_the_mii",

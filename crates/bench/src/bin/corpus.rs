@@ -8,16 +8,29 @@
 //!
 //! ```text
 //! corpus [--seed H] [--loops N] [--budget R] [--threads T] [--trace DIR]
+//!        [--backend ims|exact] [--deadline-ms D] [--wall]
 //! ```
 //!
 //! Defaults: the paper's 1327-loop corpus at seed `0xC4D5`, BudgetRatio 6,
-//! one worker per available core. With `--trace DIR`, one JSON-lines
-//! event trace per loop is written under `DIR` (`loop_00042.jsonl`, …) —
-//! also byte-identical across thread counts; render them with the
+//! one worker per available core, the iterative (`ims`) backend. With
+//! `--trace DIR` (iterative backend only), one JSON-lines event trace per
+//! loop is written under `DIR` (`loop_00042.jsonl`, …) — also
+//! byte-identical across thread counts; render them with the
 //! `trace_report` binary.
+//!
+//! `--backend exact` proves II optimality per loop by branch-and-bound
+//! (adding `proved_lb`/`best_ub`/`limit_hit` to each JSON line);
+//! `--deadline-ms D` meters that search as a deterministic node budget of
+//! `D × NODES_PER_MS` per loop (0 = unlimited), so the output stays
+//! byte-identical across runs and thread counts. `--wall` appends the
+//! (non-deterministic) per-loop `wall_ns` timing to each line.
 
 use ims_bench::pool::{default_threads, parse_threads};
-use ims_bench::{corpus_jsonl, measure_corpus_traced, parse_trace_dir};
+use ims_bench::{
+    corpus_jsonl_opts, measure_corpus_backend, measure_corpus_traced, node_budget_for_ms,
+    parse_trace_dir,
+};
+use ims_core::BackendKind;
 use ims_loopgen::corpus_of_size;
 use ims_machine::cydra;
 
@@ -42,23 +55,50 @@ fn main() {
     let seed: u64 = flag(&args, "--seed", 0xC4D5);
     let loops: usize = flag(&args, "--loops", 1327);
     let budget: f64 = flag(&args, "--budget", 6.0);
+    let deadline_ms: u64 = flag(&args, "--deadline-ms", 5000);
+    let backend_name: String = flag(&args, "--backend", "ims".to_string());
+    let with_wall = args.iter().any(|a| a == "--wall");
     let threads = parse_threads(&args).unwrap_or_else(default_threads);
     let trace_dir = parse_trace_dir(&args);
+
+    let Some(backend) = BackendKind::parse(&backend_name) else {
+        eprintln!("corpus: unknown --backend {backend_name:?} (expected ims or exact)");
+        std::process::exit(2);
+    };
 
     let corpus = corpus_of_size(seed, loops);
     let machine = cydra();
     let t0 = std::time::Instant::now();
-    let ms = measure_corpus_traced(&corpus, &machine, budget, threads, trace_dir.as_deref(), "")
-        .unwrap_or_else(|e| {
-            eprintln!("corpus: cannot write traces: {e}");
-            std::process::exit(1);
-        });
+    let ms = match backend {
+        BackendKind::Ims => {
+            measure_corpus_traced(&corpus, &machine, budget, threads, trace_dir.as_deref(), "")
+                .unwrap_or_else(|e| {
+                    eprintln!("corpus: cannot write traces: {e}");
+                    std::process::exit(1);
+                })
+        }
+        BackendKind::Exact => {
+            if trace_dir.is_some() {
+                eprintln!("corpus: --trace is only supported with --backend ims");
+                std::process::exit(2);
+            }
+            measure_corpus_backend(
+                &corpus,
+                &machine,
+                backend,
+                budget,
+                node_budget_for_ms(deadline_ms),
+                threads,
+            )
+        }
+    };
     let elapsed = t0.elapsed();
 
-    print!("{}", corpus_jsonl(&ms));
+    print!("{}", corpus_jsonl_opts(&ms, with_wall));
     eprintln!(
-        "scheduled {} loops in {:.1} ms on {} thread{} ({:.1} loops/ms)",
+        "scheduled {} loops ({}) in {:.1} ms on {} thread{} ({:.1} loops/ms)",
         ms.len(),
+        backend,
         elapsed.as_secs_f64() * 1e3,
         threads,
         if threads == 1 { "" } else { "s" },

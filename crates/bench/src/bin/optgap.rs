@@ -1,0 +1,136 @@
+//! Corpus-wide optimality-gap harness: iterative vs. exact scheduling.
+//!
+//! For every corpus loop, the exact branch-and-bound backend establishes
+//! the true minimum II (or explicit bounds when its node budget runs
+//! out), and the iterative scheduler is run at BudgetRatios 1, 2, 3 and 6
+//! — the sweep of the paper's §4.3. The per-loop JSON lines and the
+//! aggregate line quantify how far Rau's heuristic sits from optimal at
+//! each budget.
+//!
+//! ```text
+//! optgap [--seed H] [--loops N] [--threads T] [--deadline-ms D]
+//! ```
+//!
+//! Defaults: 300 loops at seed `0xC4D5`, one worker per core, a 5-second
+//! per-loop deadline. The deadline is applied as a deterministic node
+//! budget (`D × NODES_PER_MS`), never as wall-clock, so stdout is
+//! byte-identical across runs and `--threads` values — `scripts/verify.sh`
+//! diffs `--threads 1` against `--threads 4` on every run.
+//!
+//! Per-loop fields: `exact_lb`/`exact_ub` bound the true minimum II
+//! (equal when proven), `limit_hit` flags an aborted search, `nodes` its
+//! cost, and `ii_b1` … `ii_b6` are the heuristic IIs. The aggregate line
+//! reports, over the `decided` loops (those with proven optima), the
+//! summed gap `Σ (II − II*)` and the count of optimally scheduled loops
+//! per budget ratio.
+
+use ims_bench::{node_budget_for_ms, pool};
+use ims_core::{modulo_schedule, SchedConfig};
+use ims_deps::{back_substitute, build_problem, BuildOptions};
+use ims_exact::{schedule_exact, ExactConfig};
+use ims_loopgen::corpus_of_size;
+use ims_machine::cydra;
+
+/// The §4.3 BudgetRatio sweep, labeled `b1` … `b6` in the output.
+const RATIOS: [(f64, &str); 4] = [(1.0, "b1"), (2.0, "b2"), (3.0, "b3"), (6.0, "b6")];
+
+struct Row {
+    ops: usize,
+    mii: i64,
+    exact_lb: i64,
+    exact_ub: i64,
+    limit_hit: bool,
+    nodes: u64,
+    iis: [i64; RATIOS.len()],
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            if let Ok(v) = v.parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = flag(&args, "--seed", 0xC4D5);
+    let loops: usize = flag(&args, "--loops", 300);
+    let deadline_ms: u64 = flag(&args, "--deadline-ms", 5000);
+    let threads = pool::parse_threads(&args).unwrap_or_else(pool::default_threads);
+
+    let corpus = corpus_of_size(seed, loops);
+    let machine = cydra();
+    let exact_config = ExactConfig::new().node_limit(node_budget_for_ms(deadline_ms));
+
+    let t0 = std::time::Instant::now();
+    let rows: Vec<Row> = pool::par_map(&corpus.loops, threads, |_, l| {
+        let body = back_substitute(&l.body, &machine);
+        let problem = build_problem(&body, &machine, &BuildOptions::default());
+        let exact = schedule_exact(&problem, &exact_config)
+            .expect("corpus loops always schedule under the automatic II cap");
+        let mut iis = [0i64; RATIOS.len()];
+        for (slot, (ratio, _)) in iis.iter_mut().zip(RATIOS) {
+            *slot = modulo_schedule(&problem, &SchedConfig::with_budget_ratio(ratio))
+                .expect("corpus loops always schedule under the automatic II cap")
+                .schedule
+                .ii;
+        }
+        Row {
+            ops: problem.num_ops(),
+            mii: exact.mii.mii,
+            exact_lb: exact.bounds.proved_lb,
+            exact_ub: exact.bounds.best_ub,
+            limit_hit: exact.limit_hit,
+            nodes: exact.nodes,
+            iis,
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let mut out = String::with_capacity(rows.len() * 160);
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"loop\":{i},\"ops\":{},\"mii\":{},\"exact_lb\":{},\"exact_ub\":{},\
+             \"limit_hit\":{},\"nodes\":{}",
+            r.ops, r.mii, r.exact_lb, r.exact_ub, r.limit_hit, r.nodes,
+        ));
+        for (&ii, (_, label)) in r.iis.iter().zip(RATIOS) {
+            out.push_str(&format!(",\"ii_{label}\":{ii}"));
+        }
+        out.push_str("}\n");
+    }
+
+    let decided: Vec<&Row> = rows.iter().filter(|r| r.exact_lb == r.exact_ub).collect();
+    let limit_hits = rows.iter().filter(|r| r.limit_hit).count();
+    out.push_str(&format!(
+        "{{\"loops\":{},\"decided\":{},\"limit_hits\":{limit_hits}",
+        rows.len(),
+        decided.len(),
+    ));
+    for (k, (_, label)) in RATIOS.iter().enumerate() {
+        let gap: i64 = decided.iter().map(|r| r.iis[k] - r.exact_ub).sum();
+        let optimal = decided.iter().filter(|r| r.iis[k] == r.exact_ub).count();
+        out.push_str(&format!(",\"gap_{label}\":{gap},\"opt_{label}\":{optimal}"));
+    }
+    out.push_str("}\n");
+    print!("{out}");
+
+    eprintln!(
+        "optgap: {} loops ({} decided, {} limit hits) in {:.1} ms on {} thread{}",
+        rows.len(),
+        decided.len(),
+        limit_hits,
+        elapsed.as_secs_f64() * 1e3,
+        threads,
+        if threads == 1 { "" } else { "s" },
+    );
+}

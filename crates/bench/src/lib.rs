@@ -30,10 +30,11 @@
 //! thread counts, inspectable with `trace_report`.
 
 use ims_core::{
-    height_r, list_schedule, Counters, NullObserver, SchedConfig, SchedObserver, SchedOutcome,
-    Scheduler,
+    height_r, list_schedule, BackendKind, Counters, NullObserver, Problem, SchedConfig,
+    SchedObserver, SchedOutcome, Scheduler,
 };
 use ims_deps::{back_substitute, build_problem, BuildOptions};
+use ims_exact::{schedule_exact, ExactConfig};
 use ims_graph::sccs;
 use ims_loopgen::{Corpus, CorpusLoop, Profile};
 use ims_machine::MachineModel;
@@ -41,6 +42,35 @@ use ims_trace::TraceWriter;
 
 pub mod micro;
 pub mod pool;
+
+/// Deterministic stand-in for a wall-clock deadline in the harness
+/// paths: `--deadline-ms N` is converted to a branch-and-bound node
+/// budget of `N × NODES_PER_MS`, so two runs (and any `--threads` value)
+/// abort the exact search at exactly the same point. Calibrated on the
+/// default corpus's hardest loop: one node — a placement plus its window
+/// recomputation and memo probe — costs ~2 µs in a release build.
+pub const NODES_PER_MS: u64 = 500;
+
+/// The node budget equivalent of a `--deadline-ms` value (`None` —
+/// unlimited — for 0).
+pub fn node_budget_for_ms(deadline_ms: u64) -> Option<u64> {
+    (deadline_ms > 0).then(|| deadline_ms.saturating_mul(NODES_PER_MS))
+}
+
+/// What the exact backend proved about one loop (absent from
+/// iterative-backend measurements).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactInfo {
+    /// Largest II proven to lower-bound the true minimum.
+    pub proved_lb: i64,
+    /// Smallest II with a schedule in hand (the measurement's `ii`).
+    pub best_ub: i64,
+    /// Branch-and-bound nodes spent.
+    pub nodes: u64,
+    /// Whether the node budget aborted the search before every candidate
+    /// II was decided.
+    pub limit_hit: bool,
+}
 
 /// Everything the paper measures about one scheduled loop.
 #[derive(Debug, Clone)]
@@ -72,10 +102,17 @@ pub struct LoopMeasurement {
     pub final_steps: u64,
     /// Operation-scheduling steps across all II attempts.
     pub total_steps: u64,
-    /// The per-loop instrumentation counters (Table 4).
+    /// The per-loop instrumentation counters (Table 4). All-zero for the
+    /// exact backend, whose work is counted in [`ExactInfo::nodes`].
     pub counters: Counters,
     /// The loop's synthetic execution profile.
     pub profile: Profile,
+    /// Wall-clock time spent scheduling this loop. Excluded from the
+    /// default JSON rendering (timings are non-deterministic); opt in
+    /// with the corpus driver's `--wall` flag.
+    pub wall_ns: u64,
+    /// Exact-backend bounds; `None` for the iterative backend.
+    pub exact: Option<ExactInfo>,
 }
 
 impl LoopMeasurement {
@@ -127,12 +164,70 @@ pub fn measure_loop_observed<O: SchedObserver>(
     // same preprocessing.
     let body = back_substitute(&l.body, machine);
     let problem = build_problem(&body, machine, &BuildOptions::default());
+    let t0 = std::time::Instant::now();
     let outcome: SchedOutcome = Scheduler::new(&problem)
         .config(SchedConfig::new().budget_ratio(budget_ratio))
         .observer(observer)
         .run()
         .expect("corpus loops always schedule under the automatic II cap");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
 
+    let mut m = finish_measurement(&problem, l, outcome.mii.res_mii, outcome.mii.rec_mii,
+        outcome.mii.mii, &outcome.schedule);
+    m.final_steps = outcome.stats.final_steps();
+    m.total_steps = outcome.stats.total_steps();
+    m.counters = outcome.stats.counters;
+    m.wall_ns = wall_ns;
+    m
+}
+
+/// Schedules one corpus loop with the **exact** backend: the iterative
+/// scheduler provides the upper bound, then branch-and-bound decides
+/// every smaller II under `config`'s node budget. `final_steps` /
+/// `total_steps` count branch-and-bound nodes, the Table 4 counters are
+/// zero, and [`LoopMeasurement::exact`] carries the proven bounds.
+///
+/// # Panics
+///
+/// Panics if the internal iterative run fails (impossible for well-formed
+/// corpus loops with the automatic II cap).
+pub fn measure_loop_exact(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    config: &ExactConfig,
+) -> LoopMeasurement {
+    let body = back_substitute(&l.body, machine);
+    let problem = build_problem(&body, machine, &BuildOptions::default());
+    let t0 = std::time::Instant::now();
+    let out = schedule_exact(&problem, config)
+        .expect("corpus loops always schedule under the automatic II cap");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut m = finish_measurement(&problem, l, out.mii.res_mii, out.mii.rec_mii, out.mii.mii,
+        &out.schedule);
+    m.final_steps = out.nodes;
+    m.total_steps = out.nodes;
+    m.wall_ns = wall_ns;
+    m.exact = Some(ExactInfo {
+        proved_lb: out.bounds.proved_lb,
+        best_ub: out.bounds.best_ub,
+        nodes: out.nodes,
+        limit_hit: out.limit_hit,
+    });
+    m
+}
+
+/// The backend-independent tail of a loop measurement: SCC statistics and
+/// the schedule-length lower bound, packaged with the schedule's
+/// quantities. Work counters are left zero for the caller to fill.
+fn finish_measurement(
+    problem: &Problem<'_>,
+    l: &CorpusLoop,
+    res_mii: i64,
+    rec_mii: i64,
+    mii: i64,
+    schedule: &ims_core::Schedule,
+) -> LoopMeasurement {
     // SCC statistics over real operations only (START/STOP would otherwise
     // show up as two extra trivial components).
     let mut scc_work = 0u64;
@@ -156,25 +251,27 @@ pub fn measure_loop_observed<O: SchedObserver>(
     // tables, so it is clamped at the achieved length (otherwise the
     // "ratio to the lower bound" could dip below 1).
     let mut c = Counters::new();
-    let heights = height_r(&problem, outcome.schedule.ii, &mut c);
+    let heights = height_r(problem, schedule.ii, &mut c);
     let min_dist_bound = heights[problem.start().index()];
-    let list_len = list_schedule(&problem).length.min(outcome.schedule.length);
+    let list_len = list_schedule(problem).length.min(schedule.length);
 
     LoopMeasurement {
         n_ops: problem.num_ops(),
         n_edges: problem.num_real_edges(),
-        res_mii: outcome.mii.res_mii,
-        rec_mii: outcome.mii.rec_mii,
-        mii: outcome.mii.mii,
-        ii: outcome.schedule.ii,
-        schedule_length: outcome.schedule.length,
+        res_mii,
+        rec_mii,
+        mii,
+        ii: schedule.ii,
+        schedule_length: schedule.length,
         schedule_length_lower: min_dist_bound.max(list_len),
         non_trivial_sccs,
         scc_sizes,
-        final_steps: outcome.stats.final_steps(),
-        total_steps: outcome.stats.total_steps(),
-        counters: outcome.stats.counters,
+        final_steps: 0,
+        total_steps: 0,
+        counters: Counters::new(),
         profile: l.profile,
+        wall_ns: 0,
+        exact: None,
     }
 }
 
@@ -203,6 +300,32 @@ pub fn measure_corpus_threads(
     pool::par_map(&corpus.loops, threads, |_, l| {
         measure_loop(l, machine, budget_ratio)
     })
+}
+
+/// [`measure_corpus_threads`] with a selectable backend. The iterative
+/// backend ignores `node_limit`; the exact backend ignores nothing —
+/// `budget_ratio` configures its internal heuristic run and `node_limit`
+/// its branch-and-bound budget (deterministic, unlike a wall-clock
+/// deadline, so stdout stays byte-identical across thread counts).
+pub fn measure_corpus_backend(
+    corpus: &Corpus,
+    machine: &MachineModel,
+    backend: BackendKind,
+    budget_ratio: f64,
+    node_limit: Option<u64>,
+    threads: usize,
+) -> Vec<LoopMeasurement> {
+    match backend {
+        BackendKind::Ims => measure_corpus_threads(corpus, machine, budget_ratio, threads),
+        BackendKind::Exact => {
+            let config = ExactConfig::new()
+                .heuristic(SchedConfig::with_budget_ratio(budget_ratio))
+                .node_limit(node_limit);
+            pool::par_map(&corpus.loops, threads, |_, l| {
+                measure_loop_exact(l, machine, &config)
+            })
+        }
+    }
 }
 
 /// [`measure_corpus_threads`] plus per-loop event traces.
@@ -261,6 +384,30 @@ pub fn parse_trace_dir(args: &[String]) -> Option<std::path::PathBuf> {
 /// non-deterministic — no timings, no thread identity — so corpus runs at
 /// different thread counts produce byte-identical output.
 pub fn measurement_json_line(index: usize, m: &LoopMeasurement) -> String {
+    measurement_json_line_opts(index, m, false)
+}
+
+/// [`measurement_json_line`] with opt-in extras: `with_wall` appends the
+/// (non-deterministic) `wall_ns` timing, and exact-backend measurements
+/// always append their `proved_lb`/`best_ub`/`limit_hit` bounds — the
+/// iterative backend's lines are byte-unchanged.
+pub fn measurement_json_line_opts(index: usize, m: &LoopMeasurement, with_wall: bool) -> String {
+    let mut line = measurement_json_core(index, m);
+    if let Some(e) = m.exact {
+        line.pop();
+        line.push_str(&format!(
+            ",\"proved_lb\":{},\"best_ub\":{},\"limit_hit\":{}}}",
+            e.proved_lb, e.best_ub, e.limit_hit
+        ));
+    }
+    if with_wall {
+        line.pop();
+        line.push_str(&format!(",\"wall_ns\":{}}}", m.wall_ns));
+    }
+    line
+}
+
+fn measurement_json_core(index: usize, m: &LoopMeasurement) -> String {
     let c = &m.counters;
     format!(
         "{{\"loop\":{index},\"ops\":{},\"edges\":{},\"res_mii\":{},\"rec_mii\":{},\
@@ -293,25 +440,45 @@ pub fn measurement_json_line(index: usize, m: &LoopMeasurement) -> String {
 /// order) followed by one aggregate line summing the deterministic
 /// quantities. Byte-identical across thread counts by construction.
 pub fn corpus_jsonl(ms: &[LoopMeasurement]) -> String {
+    corpus_jsonl_opts(ms, false)
+}
+
+/// [`corpus_jsonl`] with opt-in `wall_ns` per line. When any measurement
+/// carries exact bounds, the aggregate line additionally reports how many
+/// loops were proven optimal, the summed proven gap, and how many
+/// searches hit their node budget.
+pub fn corpus_jsonl_opts(ms: &[LoopMeasurement], with_wall: bool) -> String {
     let mut out = String::with_capacity(ms.len() * 200);
     let mut total = Counters::new();
     let (mut steps, mut ops, mut delta) = (0u64, 0usize, 0i64);
     for (i, m) in ms.iter().enumerate() {
-        out.push_str(&measurement_json_line(i, m));
+        out.push_str(&measurement_json_line_opts(i, m, with_wall));
         out.push('\n');
         total.add(&m.counters);
         steps += m.total_steps;
         ops += m.n_ops;
         delta += m.delta_ii();
     }
-    out.push_str(&format!(
+    let mut agg = format!(
         "{{\"loops\":{},\"ops\":{ops},\"total_steps\":{steps},\"sum_delta_ii\":{delta},\
-         \"mindist_work\":{},\"findslot_iters\":{},\"evictions\":{}}}\n",
+         \"mindist_work\":{},\"findslot_iters\":{},\"evictions\":{}}}",
         ms.len(),
         total.mindist_work,
         total.findslot_iters,
         total.evictions,
-    ));
+    );
+    if ms.iter().any(|m| m.exact.is_some()) {
+        let exact: Vec<ExactInfo> = ms.iter().filter_map(|m| m.exact).collect();
+        let proven = exact.iter().filter(|e| e.proved_lb == e.best_ub).count();
+        let gap: i64 = exact.iter().map(|e| e.best_ub - e.proved_lb).sum();
+        let limit_hits = exact.iter().filter(|e| e.limit_hit).count();
+        agg.pop();
+        agg.push_str(&format!(
+            ",\"proven_optimal\":{proven},\"open_gap\":{gap},\"limit_hits\":{limit_hits}}}"
+        ));
+    }
+    out.push_str(&agg);
+    out.push('\n');
     out
 }
 
@@ -362,6 +529,40 @@ mod tests {
         let (dilation, ineff) = aggregate_figure6(&ms);
         assert!(dilation >= 0.0);
         assert!(ineff >= 1.0, "each op is scheduled at least once: {ineff}");
+    }
+
+    #[test]
+    fn exact_backend_measurements_carry_bounds() {
+        let corpus = corpus_of_size(5, 12);
+        let machine = cydra();
+        let ims = measure_corpus_backend(&corpus, &machine, BackendKind::Ims, 6.0, None, 2);
+        let exact =
+            measure_corpus_backend(&corpus, &machine, BackendKind::Exact, 6.0, Some(200_000), 2);
+        for (i, e) in ims.iter().zip(&exact) {
+            assert!(i.exact.is_none());
+            let b = e.exact.expect("exact measurements carry bounds");
+            assert!(b.proved_lb <= b.best_ub);
+            assert_eq!(e.ii, b.best_ub, "the measured II is the best in hand");
+            assert!(e.mii <= e.ii);
+            assert!(e.ii <= i.ii, "exact never does worse than the heuristic");
+            if !b.limit_hit {
+                assert_eq!(b.proved_lb, b.best_ub, "a completed search is exact");
+            }
+        }
+
+        // Exact lines grow bounds fields; iterative lines are unchanged.
+        let line = measurement_json_line_opts(0, &exact[0], false);
+        assert!(line.contains("\"proved_lb\":"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert_eq!(
+            measurement_json_line(0, &ims[0]),
+            measurement_json_line_opts(0, &ims[0], false)
+        );
+        assert!(!measurement_json_line(0, &ims[0]).contains("wall_ns"));
+        let timed = measurement_json_line_opts(0, &ims[0], true);
+        assert!(timed.contains("\"wall_ns\":"), "{timed}");
+        let agg = corpus_jsonl_opts(&exact, false);
+        assert!(agg.contains("\"proven_optimal\":"), "{agg}");
     }
 
     #[test]

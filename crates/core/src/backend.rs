@@ -1,0 +1,285 @@
+//! Pluggable scheduling backends.
+//!
+//! The paper's iterative scheduler is a heuristic: it walks candidate IIs
+//! upward from the MII and keeps the first II at which its budgeted search
+//! succeeds, so "achieved II = MII" is the only case in which its result
+//! is *known* to be optimal. Measuring the heuristic's optimality gap —
+//! the centerpiece of the exact-scheduling literature that followed Rau
+//! (SMT- and SAT-based modulo schedulers) — needs a second scheduler that
+//! proves lower bounds. [`SchedulerBackend`] is the seam both sit behind:
+//! every backend consumes the same [`Problem`] and produces the same
+//! [`Schedule`], so the validator, code generation, and the VLIW
+//! simulator work unchanged regardless of which backend produced the
+//! schedule, and harness code can be generic over the choice.
+//!
+//! Two implementations exist:
+//!
+//! * [`IterativeBackend`] (this crate) — the paper's algorithm, wrapping
+//!   [`modulo_schedule`](crate::modulo_schedule). Its bounds are one-sided:
+//!   `proved_lb` is the MII, `best_ub` the achieved II.
+//! * `ExactBackend` (the `ims-exact` crate) — branch-and-bound search
+//!   that either proves its schedule's II minimal or reports explicit
+//!   [`IiBounds`] when its deadline/node budget runs out.
+
+use crate::mii::MiiInfo;
+use crate::observe::{NullObserver, SchedObserver};
+use crate::problem::Problem;
+use crate::sched::{modulo_schedule_observed, SchedConfig, Schedule, ScheduleError};
+
+/// Which scheduling backend produced an event stream or outcome.
+///
+/// Carried by the `attempt_start` trace events (via
+/// [`SchedObserver::backend`]) so traces from different backends are
+/// distinguishable after the fact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The paper's iterative modulo scheduler.
+    #[default]
+    Ims,
+    /// The exact branch-and-bound scheduler (`ims-exact`).
+    Exact,
+}
+
+impl BackendKind {
+    /// The stable lowercase name used on the wire and in CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Ims => "ims",
+            BackendKind::Exact => "exact",
+        }
+    }
+
+    /// Parses a CLI/wire name produced by [`BackendKind::name`].
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "ims" => Some(BackendKind::Ims),
+            "exact" => Some(BackendKind::Exact),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a backend knows about the loop's true minimum II.
+///
+/// `proved_lb ≤ II* ≤ best_ub`, where `II*` is the smallest II at which
+/// any legal modulo schedule exists. A backend that proves optimality
+/// reports `proved_lb == best_ub`; a heuristic (or an exact search that
+/// hit its deadline) reports a gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IiBounds {
+    /// Largest II proven to be a lower bound on `II*` (every smaller II
+    /// is known infeasible).
+    pub proved_lb: i64,
+    /// Smallest II at which a legal schedule is in hand.
+    pub best_ub: i64,
+}
+
+impl IiBounds {
+    /// Bounds for a schedule proven optimal at `ii`.
+    pub fn exact(ii: i64) -> IiBounds {
+        IiBounds {
+            proved_lb: ii,
+            best_ub: ii,
+        }
+    }
+
+    /// Whether the bounds pin the true minimum II exactly.
+    pub fn is_exact(&self) -> bool {
+        self.proved_lb == self.best_ub
+    }
+
+    /// `best_ub − proved_lb`: how much slack remains between the schedule
+    /// in hand and the proven lower bound (0 when optimality is proven).
+    pub fn gap(&self) -> i64 {
+        self.best_ub - self.proved_lb
+    }
+}
+
+/// The uniform result of a [`SchedulerBackend`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendOutcome {
+    /// The best legal schedule found; `schedule.ii == bounds.best_ub`.
+    pub schedule: Schedule,
+    /// The MII bounds computed before scheduling.
+    pub mii: MiiInfo,
+    /// What the backend proved about the true minimum II.
+    pub bounds: IiBounds,
+    /// Backend-specific work measure: operation-scheduling steps for the
+    /// iterative backend, branch-and-bound search nodes for the exact one.
+    pub steps: u64,
+}
+
+impl BackendOutcome {
+    /// Whether `schedule` is proven II-optimal.
+    pub fn optimal(&self) -> bool {
+        self.bounds.is_exact()
+    }
+}
+
+/// A modulo scheduler: anything that turns a [`Problem`] into a legal
+/// [`Schedule`] plus [`IiBounds`] on the true minimum II.
+///
+/// The trait is object-safe so harness code can pick a backend at
+/// runtime (`--backend {ims,exact}`); both implementations also expose
+/// richer inherent `*_observed` entry points for callers that want
+/// scheduler events.
+pub trait SchedulerBackend {
+    /// Which backend this is (stable name via [`BackendKind::name`]).
+    fn kind(&self) -> BackendKind;
+
+    /// Schedules `problem`, returning the best schedule found and the II
+    /// bounds it proves.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; the iterative backend forwards
+    /// [`ScheduleError`], and the exact backend can only fail if its
+    /// internal heuristic run (which provides the upper bound) fails.
+    fn schedule(&self, problem: &Problem<'_>) -> Result<BackendOutcome, ScheduleError>;
+}
+
+/// The paper's iterative modulo scheduler as a [`SchedulerBackend`].
+///
+/// Its lower bound is the MII — the iterative scheduler never proves
+/// anything stronger — so `bounds.is_exact()` holds exactly when the
+/// achieved II equals the MII.
+///
+/// ```
+/// use ims_core::{IterativeBackend, ProblemBuilder, SchedConfig, SchedulerBackend};
+/// use ims_ir::{OpId, Opcode};
+/// use ims_machine::minimal;
+///
+/// let m = minimal();
+/// let mut pb = ProblemBuilder::new(&m);
+/// let _ = pb.add_op(Opcode::Add, OpId(0));
+/// let problem = pb.finish();
+///
+/// let out = IterativeBackend::new(SchedConfig::default())
+///     .schedule(&problem)
+///     .unwrap();
+/// assert!(out.optimal(), "a one-op loop schedules at its MII");
+/// assert_eq!(out.bounds.proved_lb, out.mii.mii);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IterativeBackend {
+    config: SchedConfig,
+}
+
+impl IterativeBackend {
+    /// A backend running with the given configuration.
+    pub fn new(config: SchedConfig) -> Self {
+        IterativeBackend { config }
+    }
+
+    /// The configuration this backend schedules with.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// [`SchedulerBackend::schedule`] with scheduler events reported to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`modulo_schedule`](crate::modulo_schedule).
+    pub fn schedule_observed<O: SchedObserver>(
+        &self,
+        problem: &Problem<'_>,
+        observer: &mut O,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let out = modulo_schedule_observed(problem, &self.config, observer)?;
+        let steps = out.stats.total_steps();
+        Ok(BackendOutcome {
+            bounds: IiBounds {
+                proved_lb: out.mii.mii,
+                best_ub: out.schedule.ii,
+            },
+            mii: out.mii,
+            schedule: out.schedule,
+            steps,
+        })
+    }
+}
+
+impl SchedulerBackend for IterativeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Ims
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<BackendOutcome, ScheduleError> {
+        self.schedule_observed(problem, &mut NullObserver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemBuilder;
+    use crate::validate::validate_schedule;
+    use ims_graph::DepKind;
+    use ims_ir::{OpId, Opcode};
+    use ims_machine::minimal;
+
+    #[test]
+    fn backend_kind_names_round_trip() {
+        for kind in [BackendKind::Ims, BackendKind::Exact] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(BackendKind::parse("simulated-annealing"), None);
+    }
+
+    #[test]
+    fn ii_bounds_accessors() {
+        let exact = IiBounds::exact(4);
+        assert!(exact.is_exact());
+        assert_eq!(exact.gap(), 0);
+        let loose = IiBounds {
+            proved_lb: 3,
+            best_ub: 5,
+        };
+        assert!(!loose.is_exact());
+        assert_eq!(loose.gap(), 2);
+    }
+
+    #[test]
+    fn iterative_backend_matches_modulo_schedule_and_is_object_safe() {
+        let m = minimal();
+        let mut pb = ProblemBuilder::new(&m);
+        let a = pb.add_op(Opcode::Add, OpId(0));
+        let b = pb.add_op(Opcode::Mul, OpId(1));
+        pb.add_dep(a, b, 1, 0, DepKind::Flow, false);
+        pb.add_dep(b, a, 1, 1, DepKind::Flow, false);
+        let p = pb.finish();
+
+        let backend: Box<dyn SchedulerBackend> = Box::new(IterativeBackend::default());
+        assert_eq!(backend.kind(), BackendKind::Ims);
+        let out = backend.schedule(&p).unwrap();
+        let reference =
+            crate::sched::modulo_schedule(&p, &SchedConfig::default()).unwrap();
+        assert_eq!(out.schedule, reference.schedule);
+        assert_eq!(out.bounds.proved_lb, reference.mii.mii);
+        assert_eq!(out.bounds.best_ub, reference.schedule.ii);
+        assert_eq!(out.steps, reference.stats.total_steps());
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
+    }
+
+    #[test]
+    fn iterative_backend_forwards_errors() {
+        let m = minimal();
+        let mut pb = ProblemBuilder::new(&m);
+        let a = pb.add_op(Opcode::Add, OpId(0));
+        pb.add_dep(a, a, 5, 1, DepKind::Flow, false); // RecMII 5
+        let p = pb.finish();
+        let err = IterativeBackend::new(SchedConfig::new().max_ii(4))
+            .schedule(&p)
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::IiCapExceeded { mii: 5, max_ii: 4 });
+    }
+}

@@ -23,6 +23,12 @@
 //!   exhaustion) is reported to a monomorphized observer, at zero cost
 //!   for the default [`NullObserver`] — the `ims-trace` crate builds
 //!   JSON-lines tracing and metrics aggregation on top;
+//! * a **pluggable backend seam** ([`SchedulerBackend`]): the iterative
+//!   scheduler ([`IterativeBackend`]) and the exact branch-and-bound
+//!   scheduler in `ims-exact` sit behind one object-safe trait, both
+//!   returning the same [`Schedule`] plus [`IiBounds`]
+//!   on the true minimum II, so the harness can measure the heuristic's
+//!   optimality gap;
 //! * the **acyclic list scheduler** ([`list_schedule`]) the paper uses both
 //!   as the schedule-length lower bound and as the cost yardstick;
 //! * an independent **schedule validator** ([`validate_schedule`]) that
@@ -54,6 +60,7 @@
 //! # Ok::<(), ims_core::SchedError>(())
 //! ```
 
+mod backend;
 mod builder;
 mod counters;
 pub mod display;
@@ -66,6 +73,7 @@ mod problem;
 mod sched;
 mod validate;
 
+pub use backend::{BackendKind, BackendOutcome, IiBounds, IterativeBackend, SchedulerBackend};
 pub use builder::Scheduler;
 pub use counters::Counters;
 pub use list_sched::{list_schedule, ListSchedule};

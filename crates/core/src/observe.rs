@@ -37,6 +37,8 @@
 
 use ims_graph::NodeId;
 
+use crate::backend::BackendKind;
+
 /// Receiver for scheduler events; all hooks default to no-ops, so an
 /// observer only implements the events it cares about.
 ///
@@ -45,6 +47,13 @@ use ims_graph::NodeId;
 /// monomorphized per observer type: observing costs exactly what the
 /// observer's hook bodies cost, and [`NullObserver`] costs nothing.
 pub trait SchedObserver {
+    /// A backend run is starting; fired once per run, before any
+    /// `attempt_start`, so observers can stamp subsequent events with
+    /// the backend that produced them.
+    fn backend(&mut self, kind: BackendKind) {
+        let _ = kind;
+    }
+
     /// An attempt at candidate initiation interval `ii` begins, with
     /// `budget` operation-scheduling steps available.
     fn attempt_start(&mut self, ii: i64, budget: i64) {
@@ -97,6 +106,9 @@ impl SchedObserver for NullObserver {}
 /// ownership for inspection afterwards. Every hook must forward
 /// explicitly — the trait's default bodies are no-ops.
 impl<O: SchedObserver + ?Sized> SchedObserver for &mut O {
+    fn backend(&mut self, kind: BackendKind) {
+        (**self).backend(kind);
+    }
     fn attempt_start(&mut self, ii: i64, budget: i64) {
         (**self).attempt_start(ii, budget);
     }
@@ -136,6 +148,7 @@ mod tests {
     }
 
     fn fire_all<O: SchedObserver>(obs: &mut O) {
+        obs.backend(BackendKind::Ims);
         obs.attempt_start(2, 10);
         obs.op_scheduled(NodeId(1), 0, 0, false);
         obs.op_evicted(NodeId(1), NodeId(2));

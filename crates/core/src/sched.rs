@@ -301,6 +301,7 @@ pub fn modulo_schedule_observed<O: SchedObserver>(
     config: &SchedConfig,
     observer: &mut O,
 ) -> Result<SchedOutcome, ScheduleError> {
+    observer.backend(crate::backend::BackendKind::Ims);
     let mut counters = Counters::new();
     let mii = compute_mii(problem, &mut counters);
 

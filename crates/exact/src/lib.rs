@@ -1,0 +1,460 @@
+#![deny(missing_docs)]
+
+//! Exact modulo scheduling by branch-and-bound.
+//!
+//! The paper's iterative scheduler is a heuristic: when it achieves the
+//! MII it is provably optimal, but when it settles for a larger II nothing
+//! says a smaller one was impossible — maybe the budget just ran out. This
+//! crate answers that question exactly. [`schedule_exact`] first runs the
+//! iterative scheduler (with a generous budget) to obtain an upper bound
+//! and a fallback schedule, then walks candidate IIs upward from the MII,
+//! deciding each one *exhaustively* with the branch-and-bound search in
+//! [`mod@self`] (see the `search` module docs for the pruning rules:
+//! MinDist windows over an SCC-topological scheduling order, modulo
+//! reservation conflicts, and failed-state memoization). The first
+//! feasible II is optimal by construction.
+//!
+//! Exhaustive search is exponential in the worst case, so the search is
+//! metered: a node budget ([`ExactConfig::node_limit`]) and an optional
+//! wall-clock deadline ([`ExactConfig::deadline`]). When either runs out
+//! the scheduler degrades gracefully — it returns the iterative schedule
+//! plus explicit [`IiBounds`] recording exactly which IIs were proven
+//! infeasible (`proved_lb`) and the best schedule in hand (`best_ub`),
+//! never a hang and never a silent claim of optimality.
+//!
+//! The crate plugs into the workspace through the
+//! [`SchedulerBackend`] seam: [`ExactBackend`] produces the same
+//! [`Schedule`] type as the iterative backend, so the validator, kernel
+//! code generation, and the VLIW simulator consume its output unchanged.
+//!
+//! ```
+//! use ims_core::{ProblemBuilder, validate_schedule};
+//! use ims_exact::{schedule_exact, ExactConfig};
+//! use ims_graph::DepKind;
+//! use ims_ir::{OpId, Opcode};
+//! use ims_machine::minimal;
+//!
+//! let m = minimal();
+//! let mut pb = ProblemBuilder::new(&m);
+//! let a = pb.add_op(Opcode::Add, OpId(0));
+//! let b = pb.add_op(Opcode::Mul, OpId(1));
+//! pb.add_dep(a, b, 1, 0, DepKind::Flow, false);
+//! pb.add_dep(b, a, 1, 1, DepKind::Flow, false); // loop-carried
+//! let problem = pb.finish();
+//!
+//! let out = schedule_exact(&problem, &ExactConfig::default())?;
+//! assert!(out.optimal());
+//! assert_eq!(out.schedule.ii, out.bounds.proved_lb);
+//! assert!(validate_schedule(&problem, &out.schedule).is_ok());
+//! # Ok::<(), ims_core::ScheduleError>(())
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ims_core::{
+    modulo_schedule, BackendKind, BackendOutcome, IiBounds, MiiInfo, NullObserver, Problem,
+    SchedConfig, SchedObserver, Schedule, ScheduleError, SchedulerBackend,
+};
+
+mod search;
+
+use search::{search_ii, SearchResult};
+
+/// Configuration for the exact scheduler.
+#[derive(Debug, Clone)]
+pub struct ExactConfig {
+    /// Configuration for the internal iterative-scheduler run that
+    /// supplies the upper bound and the fallback schedule. Defaults to
+    /// BudgetRatio 6 (the paper's quality setting) so the search window
+    /// between MII and the heuristic II is as small as possible.
+    pub heuristic: SchedConfig,
+    /// Wall-clock deadline for the whole branch-and-bound phase (the
+    /// heuristic run is not counted). `None` — the default — leaves the
+    /// search bounded only by `node_limit`. Deadlines trade determinism
+    /// for latency control: two runs under the same deadline may abort at
+    /// different points, so deterministic harnesses should meter with
+    /// `node_limit` instead.
+    pub deadline: Option<Duration>,
+    /// Budget of branch-and-bound nodes (placements tried) across all
+    /// candidate IIs. `None` is unlimited. The default (`2^22`) decides
+    /// every corpus loop in well under a second.
+    pub node_limit: Option<u64>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            heuristic: SchedConfig::with_budget_ratio(6.0),
+            deadline: None,
+            node_limit: Some(1 << 22),
+        }
+    }
+}
+
+impl ExactConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the internal iterative-scheduler configuration.
+    pub fn heuristic(mut self, heuristic: SchedConfig) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Sets the wall-clock deadline for the branch-and-bound phase.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the branch-and-bound node budget (`None` for unlimited).
+    pub fn node_limit(mut self, node_limit: Option<u64>) -> Self {
+        self.node_limit = node_limit;
+        self
+    }
+}
+
+/// The result of [`schedule_exact`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactOutcome {
+    /// The best legal schedule in hand: II-optimal when
+    /// [`optimal`](ExactOutcome::optimal), otherwise the iterative
+    /// scheduler's fallback at `ims_ii`.
+    pub schedule: Schedule,
+    /// The MII bounds computed by the internal iterative run.
+    pub mii: MiiInfo,
+    /// What was proven about the true minimum II: exact when the search
+    /// completed, a `[proved_lb, best_ub]` interval when a limit hit.
+    pub bounds: IiBounds,
+    /// Branch-and-bound nodes spent (0 when the heuristic already
+    /// achieved the MII and no search was needed).
+    pub nodes: u64,
+    /// Whether the node budget or deadline aborted the search before it
+    /// could decide every II below `ims_ii`.
+    pub limit_hit: bool,
+    /// The II the internal iterative scheduler achieved — the yardstick
+    /// for the optimality gap `ims_ii − bounds.best_ub`.
+    pub ims_ii: i64,
+}
+
+impl ExactOutcome {
+    /// Whether `schedule` is proven II-optimal.
+    pub fn optimal(&self) -> bool {
+        self.bounds.is_exact()
+    }
+}
+
+/// Schedules `problem` exactly: the returned schedule's II is proven
+/// minimal unless a limit hit, in which case `bounds` says how much is
+/// still open. See the crate docs for the algorithm.
+///
+/// # Errors
+///
+/// Forwards the internal iterative run's [`ScheduleError`]; the
+/// branch-and-bound phase itself cannot fail (it degrades to the
+/// iterative schedule).
+pub fn schedule_exact(
+    problem: &Problem<'_>,
+    config: &ExactConfig,
+) -> Result<ExactOutcome, ScheduleError> {
+    schedule_exact_observed(problem, config, &mut NullObserver)
+}
+
+/// [`schedule_exact`] with scheduler events reported to `observer`.
+///
+/// The observer sees `backend(Exact)`, then one `attempt_start` /
+/// `attempt_done` bracket per candidate II searched (the `budget` is the
+/// remaining node budget, saturated to `i64::MAX`), with the final
+/// schedule's placements emitted as `op_scheduled` events inside its
+/// attempt — so trace replay reconstructs the exact schedule just as it
+/// does for the iterative scheduler. The internal heuristic run is not
+/// observed.
+///
+/// # Errors
+///
+/// As [`schedule_exact`].
+pub fn schedule_exact_observed<O: SchedObserver>(
+    problem: &Problem<'_>,
+    config: &ExactConfig,
+    observer: &mut O,
+) -> Result<ExactOutcome, ScheduleError> {
+    observer.backend(BackendKind::Exact);
+    let ims = modulo_schedule(problem, &config.heuristic)?;
+    let ims_ii = ims.schedule.ii;
+    let mii = ims.mii;
+
+    if ims_ii == mii.mii {
+        // The heuristic achieved the MII: already proven optimal.
+        emit_final(observer, problem, &ims.schedule);
+        return Ok(ExactOutcome {
+            schedule: ims.schedule,
+            mii,
+            bounds: IiBounds::exact(ims_ii),
+            nodes: 0,
+            limit_hit: false,
+            ims_ii,
+        });
+    }
+
+    let deadline = config.deadline.map(|d| Instant::now() + d);
+    let node_limit = config.node_limit.unwrap_or(u64::MAX);
+    let mut spent = 0u64;
+    for ii in mii.mii..ims_ii {
+        let remaining = node_limit.saturating_sub(spent);
+        observer.attempt_start(ii, remaining.min(i64::MAX as u64) as i64);
+        let (result, nodes) = search_ii(problem, ii, remaining, deadline);
+        spent += nodes;
+        match result {
+            SearchResult::Found(schedule) => {
+                emit_ops(observer, &schedule);
+                observer.attempt_done(ii, true);
+                return Ok(ExactOutcome {
+                    schedule,
+                    mii,
+                    bounds: IiBounds::exact(ii),
+                    nodes: spent,
+                    limit_hit: false,
+                    ims_ii,
+                });
+            }
+            SearchResult::Infeasible => {
+                observer.attempt_done(ii, false);
+            }
+            SearchResult::LimitHit => {
+                observer.attempt_done(ii, false);
+                emit_final(observer, problem, &ims.schedule);
+                return Ok(ExactOutcome {
+                    schedule: ims.schedule,
+                    mii,
+                    bounds: IiBounds {
+                        proved_lb: ii,
+                        best_ub: ims_ii,
+                    },
+                    nodes: spent,
+                    limit_hit: true,
+                    ims_ii,
+                });
+            }
+        }
+    }
+
+    // Every II below the heuristic's is proven infeasible: the iterative
+    // schedule was optimal all along.
+    emit_final(observer, problem, &ims.schedule);
+    Ok(ExactOutcome {
+        schedule: ims.schedule,
+        mii,
+        bounds: IiBounds::exact(ims_ii),
+        nodes: spent,
+        limit_hit: false,
+        ims_ii,
+    })
+}
+
+/// Emits a full attempt bracket for an already-final schedule (used for
+/// the MII short-circuit and the fallback paths, where no live search
+/// attempt is open for the schedule being returned).
+fn emit_final<O: SchedObserver>(observer: &mut O, problem: &Problem<'_>, schedule: &Schedule) {
+    let _ = problem;
+    observer.attempt_start(schedule.ii, 0);
+    emit_ops(observer, schedule);
+    observer.attempt_done(schedule.ii, true);
+}
+
+/// Emits `op_scheduled` for every node of `schedule`, in node order.
+fn emit_ops<O: SchedObserver>(observer: &mut O, schedule: &Schedule) {
+    for idx in 0..schedule.time.len() {
+        observer.op_scheduled(
+            ims_graph::NodeId(idx as u32),
+            schedule.time[idx],
+            schedule.alternative[idx],
+            false,
+        );
+    }
+}
+
+/// The exact scheduler as a [`SchedulerBackend`].
+///
+/// `steps` in the returned [`BackendOutcome`] counts branch-and-bound
+/// nodes; `bounds` is exact unless the configured limits aborted the
+/// search.
+#[derive(Debug, Clone, Default)]
+pub struct ExactBackend {
+    config: ExactConfig,
+}
+
+impl ExactBackend {
+    /// A backend running with the given configuration.
+    pub fn new(config: ExactConfig) -> Self {
+        ExactBackend { config }
+    }
+
+    /// The configuration this backend schedules with.
+    pub fn config(&self) -> &ExactConfig {
+        &self.config
+    }
+
+    /// [`SchedulerBackend::schedule`] with scheduler events reported to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule_exact`].
+    pub fn schedule_observed<O: SchedObserver>(
+        &self,
+        problem: &Problem<'_>,
+        observer: &mut O,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let out = schedule_exact_observed(problem, &self.config, observer)?;
+        Ok(BackendOutcome {
+            schedule: out.schedule,
+            mii: out.mii,
+            bounds: out.bounds,
+            steps: out.nodes,
+        })
+    }
+}
+
+impl SchedulerBackend for ExactBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Exact
+    }
+
+    fn schedule(&self, problem: &Problem<'_>) -> Result<BackendOutcome, ScheduleError> {
+        self.schedule_observed(problem, &mut NullObserver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ims_core::{validate_schedule, ProblemBuilder};
+    use ims_graph::DepKind;
+    use ims_ir::{OpId, Opcode};
+    use ims_machine::{figure1_machine, minimal};
+
+    /// The Figure 1 loop of the paper: a mul/add recurrence of delay 9 at
+    /// distance 2 (RecMII 5), which the iterative scheduler schedules at
+    /// II 6 after a failed attempt at 5.
+    fn figure1_problem(machine: &ims_machine::MachineModel) -> Problem<'_> {
+        let mut pb = ProblemBuilder::new(machine);
+        let mul = pb.add_op(Opcode::Mul, OpId(0));
+        let add = pb.add_op(Opcode::Add, OpId(1));
+        pb.add_dep(mul, add, 5, 0, DepKind::Flow, false);
+        pb.add_dep(add, mul, 4, 2, DepKind::Flow, false);
+        pb.finish()
+    }
+
+    #[test]
+    fn figure1_is_decided_exactly() {
+        let m = figure1_machine();
+        let p = figure1_problem(&m);
+        let out = schedule_exact(&p, &ExactConfig::default()).unwrap();
+        assert_eq!(out.mii.mii, 5);
+        assert!(!out.limit_hit);
+        assert!(out.optimal(), "search must decide every II: {:?}", out.bounds);
+        assert!(out.nodes > 0, "IMS misses the MII here, so a search ran");
+        assert_eq!(out.schedule.ii, out.bounds.best_ub);
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
+        assert!(out.schedule.ii <= out.ims_ii);
+        assert!(out.schedule.ii >= out.mii.mii);
+    }
+
+    #[test]
+    fn mii_short_circuit_spends_no_nodes() {
+        let m = minimal();
+        let mut pb = ProblemBuilder::new(&m);
+        let a = pb.add_op(Opcode::Add, OpId(0));
+        let b = pb.add_op(Opcode::Mul, OpId(1));
+        pb.add_dep(a, b, 1, 0, DepKind::Flow, false);
+        pb.add_dep(b, a, 1, 1, DepKind::Flow, false);
+        let p = pb.finish();
+        let out = schedule_exact(&p, &ExactConfig::default()).unwrap();
+        assert!(out.optimal());
+        assert_eq!(out.nodes, 0, "heuristic hit the MII; no search needed");
+        assert_eq!(out.schedule.ii, out.mii.mii);
+        assert_eq!(out.ims_ii, out.mii.mii);
+    }
+
+    #[test]
+    fn node_limit_degrades_to_bounds_and_ims_schedule() {
+        let m = figure1_machine();
+        let p = figure1_problem(&m);
+        let out = schedule_exact(&p, &ExactConfig::new().node_limit(Some(1))).unwrap();
+        assert!(out.limit_hit);
+        assert!(!out.optimal());
+        assert_eq!(out.bounds.proved_lb, out.mii.mii, "nothing decided yet");
+        assert_eq!(out.bounds.best_ub, out.ims_ii);
+        assert_eq!(out.schedule.ii, out.ims_ii, "fell back to the IMS schedule");
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_degrades_deterministically() {
+        let m = figure1_machine();
+        let p = figure1_problem(&m);
+        let out =
+            schedule_exact(&p, &ExactConfig::new().deadline(Duration::ZERO)).unwrap();
+        assert!(out.limit_hit, "an already-expired deadline aborts at entry");
+        assert_eq!(out.nodes, 0);
+        assert_eq!(out.bounds.proved_lb, out.mii.mii);
+        assert_eq!(out.bounds.best_ub, out.ims_ii);
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
+    }
+
+    #[test]
+    fn exact_backend_reports_kind_and_matches_schedule_exact() {
+        let m = figure1_machine();
+        let p = figure1_problem(&m);
+        let backend: Box<dyn SchedulerBackend> = Box::new(ExactBackend::default());
+        assert_eq!(backend.kind(), BackendKind::Exact);
+        let out = backend.schedule(&p).unwrap();
+        let reference = schedule_exact(&p, &ExactConfig::default()).unwrap();
+        assert_eq!(out.schedule, reference.schedule);
+        assert_eq!(out.bounds, reference.bounds);
+        assert_eq!(out.steps, reference.nodes);
+    }
+
+    #[test]
+    fn observer_sees_exact_backend_and_replayable_placements() {
+        #[derive(Default)]
+        struct Spy {
+            backend: Option<BackendKind>,
+            attempts: Vec<(i64, bool)>,
+            placed: Vec<(u32, i64)>,
+        }
+        impl SchedObserver for Spy {
+            fn backend(&mut self, kind: BackendKind) {
+                self.backend = Some(kind);
+            }
+            fn attempt_start(&mut self, ii: i64, _budget: i64) {
+                self.attempts.push((ii, false));
+            }
+            fn attempt_done(&mut self, ii: i64, ok: bool) {
+                let last = self.attempts.last_mut().unwrap();
+                assert_eq!(last.0, ii, "attempt brackets nest properly");
+                last.1 = ok;
+            }
+            fn op_scheduled(&mut self, node: ims_graph::NodeId, time: i64, _: usize, _: bool) {
+                self.placed.push((node.0, time));
+            }
+        }
+
+        let m = figure1_machine();
+        let p = figure1_problem(&m);
+        let mut spy = Spy::default();
+        let out = schedule_exact_observed(&p, &ExactConfig::default(), &mut spy).unwrap();
+        assert_eq!(spy.backend, Some(BackendKind::Exact));
+        let last = spy.attempts.last().unwrap();
+        assert_eq!(*last, (out.schedule.ii, true), "final attempt succeeded");
+        // The trailing placement burst reconstructs the final schedule.
+        let n = out.schedule.time.len();
+        let tail = &spy.placed[spy.placed.len() - n..];
+        for (idx, &(node, time)) in tail.iter().enumerate() {
+            assert_eq!(node as usize, idx);
+            assert_eq!(time, out.schedule.time[idx]);
+        }
+    }
+}

@@ -103,7 +103,23 @@ impl MachineModel {
             .unwrap_or_else(|| panic!("machine {} does not implement {opcode}", self.name))
     }
 
-    /// Information for `opcode`, or `None` if unimplemented.
+    /// Information for `opcode`, or `None` when this machine has no
+    /// definition for it (no latency, no reservation-table alternatives —
+    /// the front end must reject such operations; see
+    /// [`MachineModel::is_complete`]). The infallible [`MachineModel::info`]
+    /// panics in that case instead.
+    ///
+    /// ```
+    /// use ims_machine::{MachineBuilder, ReservationTable};
+    /// use ims_ir::Opcode;
+    ///
+    /// let mut b = MachineBuilder::new("add-only");
+    /// let alu = b.resource("alu");
+    /// b.op(Opcode::Add, 1, vec![("alu", ReservationTable::simple(alu))]);
+    /// let m = b.build();
+    /// assert!(m.get_info(Opcode::Add).is_some());
+    /// assert!(m.get_info(Opcode::Mul).is_none(), "Mul is not defined");
+    /// ```
     pub fn get_info(&self, opcode: Opcode) -> Option<&OpcodeInfo> {
         self.info.get(&opcode)
     }

@@ -9,6 +9,7 @@
 //!
 //! [`SchedObserver`]: ims_core::SchedObserver
 
+use ims_core::BackendKind;
 use ims_testkit::bench::{json_object, JsonValue};
 
 /// One scheduler event, mirroring the hooks of
@@ -21,8 +22,13 @@ pub enum SchedEvent {
     AttemptStart {
         /// The candidate initiation interval.
         ii: i64,
-        /// Operation-scheduling steps available.
+        /// Operation-scheduling steps (iterative backend) or remaining
+        /// branch-and-bound nodes (exact backend) available.
         budget: i64,
+        /// Which backend is attempting. Serialized as a `"backend"`
+        /// string field; absent in pre-backend traces, which parse as
+        /// [`BackendKind::Ims`].
+        backend: BackendKind,
     },
     /// An operation was placed.
     OpScheduled {
@@ -84,10 +90,11 @@ impl SchedEvent {
     pub fn to_json_line(&self) -> String {
         let ev = ("ev", JsonValue::Str(self.name().into()));
         match *self {
-            SchedEvent::AttemptStart { ii, budget } => json_object(&[
+            SchedEvent::AttemptStart { ii, budget, backend } => json_object(&[
                 ev,
                 ("ii", JsonValue::I64(ii)),
                 ("budget", JsonValue::I64(budget)),
+                ("backend", JsonValue::Str(backend.name().into())),
             ]),
             SchedEvent::OpScheduled {
                 node,
@@ -137,6 +144,11 @@ impl SchedEvent {
             "attempt_start" => SchedEvent::AttemptStart {
                 ii: i64_field(line, "ii")?,
                 budget: i64_field(line, "budget")?,
+                // Traces predating the backend field are iterative ones.
+                backend: match str_field(line, "backend") {
+                    Some(name) => BackendKind::parse(name)?,
+                    None => BackendKind::Ims,
+                },
             },
             "op_scheduled" => SchedEvent::OpScheduled {
                 node: i64_field(line, "node")?.try_into().ok()?,
@@ -214,7 +226,11 @@ mod tests {
 
     fn all_variants() -> Vec<SchedEvent> {
         vec![
-            SchedEvent::AttemptStart { ii: 4, budget: 12 },
+            SchedEvent::AttemptStart {
+                ii: 4,
+                budget: 12,
+                backend: BackendKind::Exact,
+            },
             SchedEvent::OpScheduled {
                 node: 3,
                 time: -2,
@@ -260,8 +276,26 @@ mod tests {
         assert_eq!(SchedEvent::parse(r#"{"ev":"unknown","ii":1}"#), None);
         assert_eq!(SchedEvent::parse(r#"{"ev":"attempt_start","ii":1}"#), None);
         assert_eq!(
+            SchedEvent::parse(r#"{"ev":"attempt_start","ii":1,"budget":2,"backend":"sa"}"#),
+            None,
+            "an unknown backend name is malformed, not defaulted"
+        );
+        assert_eq!(
             SchedEvent::parse(r#"{"ev":"attempt_done","ii":2,"ok":maybe}"#),
             None
+        );
+    }
+
+    #[test]
+    fn legacy_attempt_start_defaults_to_ims_backend() {
+        let ev = SchedEvent::parse(r#"{"ev":"attempt_start","ii":5,"budget":16}"#).unwrap();
+        assert_eq!(
+            ev,
+            SchedEvent::AttemptStart {
+                ii: 5,
+                budget: 16,
+                backend: BackendKind::Ims,
+            }
         );
     }
 

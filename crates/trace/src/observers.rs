@@ -3,7 +3,7 @@
 
 use std::io::Write;
 
-use ims_core::SchedObserver;
+use ims_core::{BackendKind, SchedObserver};
 use ims_graph::NodeId;
 
 use crate::event::SchedEvent;
@@ -14,6 +14,10 @@ use crate::event::SchedEvent;
 pub struct Recorder {
     /// Every event observed, in emission order.
     pub events: Vec<SchedEvent>,
+    /// The backend that announced itself via the `backend` hook
+    /// ([`BackendKind::Ims`] until one does); stamped onto every
+    /// subsequent `AttemptStart`.
+    kind: BackendKind,
 }
 
 impl Recorder {
@@ -24,8 +28,15 @@ impl Recorder {
 }
 
 impl SchedObserver for Recorder {
+    fn backend(&mut self, kind: BackendKind) {
+        self.kind = kind;
+    }
     fn attempt_start(&mut self, ii: i64, budget: i64) {
-        self.events.push(SchedEvent::AttemptStart { ii, budget });
+        self.events.push(SchedEvent::AttemptStart {
+            ii,
+            budget,
+            backend: self.kind,
+        });
     }
     fn op_scheduled(&mut self, node: NodeId, time: i64, alt: usize, forced: bool) {
         self.events.push(SchedEvent::OpScheduled {
@@ -71,12 +82,17 @@ impl SchedObserver for Recorder {
 pub struct TraceWriter<W: Write> {
     sink: W,
     error: Option<std::io::Error>,
+    kind: BackendKind,
 }
 
 impl<W: Write> TraceWriter<W> {
     /// Wraps a sink.
     pub fn new(sink: W) -> Self {
-        TraceWriter { sink, error: None }
+        TraceWriter {
+            sink,
+            error: None,
+            kind: BackendKind::default(),
+        }
     }
 
     /// Appends one event line.
@@ -119,8 +135,15 @@ impl TraceWriter<Vec<u8>> {
 }
 
 impl<W: Write> SchedObserver for TraceWriter<W> {
+    fn backend(&mut self, kind: BackendKind) {
+        self.kind = kind;
+    }
     fn attempt_start(&mut self, ii: i64, budget: i64) {
-        self.write_event(&SchedEvent::AttemptStart { ii, budget });
+        self.write_event(&SchedEvent::AttemptStart {
+            ii,
+            budget,
+            backend: self.kind,
+        });
     }
     fn op_scheduled(&mut self, node: NodeId, time: i64, alt: usize, forced: bool) {
         self.write_event(&SchedEvent::OpScheduled {
@@ -157,6 +180,7 @@ mod tests {
     use crate::event::parse_trace;
 
     fn fire_all<O: SchedObserver>(obs: &mut O) {
+        obs.backend(BackendKind::Exact);
         obs.attempt_start(2, 10);
         obs.slot_search(NodeId(1), 0, 2);
         obs.op_evicted(NodeId(3), NodeId(1));
@@ -174,6 +198,15 @@ mod tests {
         let text = wr.into_string();
         assert_eq!(parse_trace(&text).unwrap(), rec.events);
         assert_eq!(text.lines().count(), 6);
+        assert_eq!(
+            rec.events[0],
+            SchedEvent::AttemptStart {
+                ii: 2,
+                budget: 10,
+                backend: BackendKind::Exact,
+            },
+            "the backend hook stamps subsequent attempts"
+        );
     }
 
     #[test]

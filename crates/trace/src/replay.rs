@@ -69,11 +69,16 @@ pub fn replay(events: &[SchedEvent]) -> ReplayedSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ims_core::BackendKind;
 
     #[test]
     fn replay_applies_placements_and_evictions_in_order() {
         let events = [
-            SchedEvent::AttemptStart { ii: 2, budget: 4 },
+            SchedEvent::AttemptStart {
+                ii: 2,
+                budget: 4,
+                backend: BackendKind::Ims,
+            },
             SchedEvent::OpScheduled {
                 node: 0,
                 time: 0,
@@ -111,7 +116,11 @@ mod tests {
     #[test]
     fn attempt_start_resets_state() {
         let events = [
-            SchedEvent::AttemptStart { ii: 2, budget: 1 },
+            SchedEvent::AttemptStart {
+                ii: 2,
+                budget: 1,
+                backend: BackendKind::Ims,
+            },
             SchedEvent::OpScheduled {
                 node: 0,
                 time: 5,
@@ -119,7 +128,11 @@ mod tests {
                 forced: false,
             },
             SchedEvent::AttemptDone { ii: 2, ok: false },
-            SchedEvent::AttemptStart { ii: 3, budget: 1 },
+            SchedEvent::AttemptStart {
+                ii: 3,
+                budget: 1,
+                backend: BackendKind::Ims,
+            },
         ];
         let s = replay(&events);
         assert_eq!(s.time, vec![None]);

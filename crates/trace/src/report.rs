@@ -1,5 +1,7 @@
 //! Per-loop convergence summaries derived from a trace.
 
+use ims_core::BackendKind;
+
 use crate::event::SchedEvent;
 
 /// One candidate-II attempt as reconstructed from a trace.
@@ -18,6 +20,9 @@ pub struct AttemptSummary {
 /// Everything a convergence report needs about one scheduled loop.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceSummary {
+    /// The backend that produced the trace (from the `AttemptStart`
+    /// events; [`BackendKind::Ims`] for traces predating the field).
+    pub backend: BackendKind,
     /// Every candidate-II attempt, in order.
     pub attempts: Vec<AttemptSummary>,
     /// Total operations displaced across all attempts.
@@ -35,12 +40,15 @@ impl TraceSummary {
         let mut evict_counts: std::collections::BTreeMap<u32, u64> = Default::default();
         for ev in events {
             match *ev {
-                SchedEvent::AttemptStart { ii, budget } => s.attempts.push(AttemptSummary {
-                    ii,
-                    budget,
-                    steps: 0,
-                    ok: false,
-                }),
+                SchedEvent::AttemptStart { ii, budget, backend } => {
+                    s.backend = backend;
+                    s.attempts.push(AttemptSummary {
+                        ii,
+                        budget,
+                        steps: 0,
+                        ok: false,
+                    });
+                }
                 SchedEvent::SlotSearch { iters, .. } => {
                     s.slots_examined += iters as u64;
                     if let Some(a) = s.attempts.last_mut() {
@@ -103,7 +111,8 @@ impl TraceSummary {
             .map(|(n, c)| format!("n{n}×{c}"))
             .collect();
         format!(
-            "{label}: IIs [{}] steps {} (wasted {}) evictions {}{}",
+            "{label}: [{}] IIs [{}] steps {} (wasted {}) evictions {}{}",
+            self.backend,
             iis.join(" "),
             self.total_steps(),
             self.wasted_steps(),
@@ -123,7 +132,11 @@ mod tests {
 
     fn sample() -> Vec<SchedEvent> {
         vec![
-            SchedEvent::AttemptStart { ii: 4, budget: 4 },
+            SchedEvent::AttemptStart {
+                ii: 4,
+                budget: 4,
+                backend: BackendKind::Ims,
+            },
             SchedEvent::SlotSearch {
                 node: 1,
                 estart: 0,
@@ -141,7 +154,11 @@ mod tests {
             },
             SchedEvent::BudgetExhausted { ii: 4, spent: 1 },
             SchedEvent::AttemptDone { ii: 4, ok: false },
-            SchedEvent::AttemptStart { ii: 5, budget: 4 },
+            SchedEvent::AttemptStart {
+                ii: 5,
+                budget: 4,
+                backend: BackendKind::Ims,
+            },
             SchedEvent::SlotSearch {
                 node: 1,
                 estart: 0,
@@ -176,6 +193,7 @@ mod tests {
     fn render_line_mentions_the_key_quantities() {
         let line = TraceSummary::from_events(&sample()).render_line("loop 7");
         assert!(line.contains("loop 7"), "{line}");
+        assert!(line.contains("[ims]"), "{line}");
         assert!(line.contains("4✗ 5✓"), "{line}");
         assert!(line.contains("wasted 1"), "{line}");
         assert!(line.contains("n2×1"), "{line}");
@@ -184,9 +202,14 @@ mod tests {
     #[test]
     fn failed_run_has_no_final_ii() {
         let s = TraceSummary::from_events(&[
-            SchedEvent::AttemptStart { ii: 2, budget: 1 },
+            SchedEvent::AttemptStart {
+                ii: 2,
+                budget: 1,
+                backend: BackendKind::Exact,
+            },
             SchedEvent::AttemptDone { ii: 2, ok: false },
         ]);
         assert_eq!(s.final_ii(), None);
+        assert_eq!(s.backend, BackendKind::Exact);
     }
 }

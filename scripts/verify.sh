@@ -29,10 +29,25 @@ if ! diff -q "$t1_log" "$t4_log" >/dev/null; then
 fi
 echo "    byte-identical at --threads 1 and --threads 4 (120 loops)"
 
+echo "==> optgap determinism across thread counts"
+og1_log=$(mktemp)
+og4_log=$(mktemp)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log"' EXIT
+cargo run --release --offline -q -p ims-bench --bin optgap -- \
+    --loops 240 --threads 1 >"$og1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-bench --bin optgap -- \
+    --loops 240 --threads 4 >"$og4_log" 2>/dev/null
+if ! diff -q "$og1_log" "$og4_log" >/dev/null; then
+    echo "FAIL: optgap output differs between --threads 1 and --threads 4" >&2
+    diff "$og1_log" "$og4_log" | head >&2
+    exit 1
+fi
+echo "    byte-identical at --threads 1 and --threads 4 (240 loops, exact + 4 budgets)"
+
 echo "==> trace determinism across thread counts"
 tr1_dir=$(mktemp -d)
 tr4_dir=$(mktemp -d)
-trap 'rm -f "$t1_log" "$t4_log" "$doc_log"; rm -rf "$tr1_dir" "$tr4_dir"' EXIT
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log"; rm -rf "$tr1_dir" "$tr4_dir"' EXIT
 cargo run --release --offline -q -p ims-bench --bin corpus -- \
     --loops 60 --threads 1 --trace "$tr1_dir" >/dev/null 2>/dev/null
 cargo run --release --offline -q -p ims-bench --bin corpus -- \

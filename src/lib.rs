@@ -11,6 +11,8 @@
 //! * dependence-graph algorithms — SCCs, circuits, MinDist ([`graph`]),
 //! * dependence analysis from IR to a schedulable graph ([`deps`]),
 //! * the iterative modulo scheduler itself, with MII bounds ([`core`]),
+//! * an exact branch-and-bound modulo scheduler that proves II optimality
+//!   or reports explicit bounds under a budget ([`exact`]),
 //! * post-scheduling code generation — modulo variable expansion, kernel
 //!   unrolling, prologue/epilogue ([`codegen`]),
 //! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
@@ -49,6 +51,7 @@ pub use ims_bench as bench;
 pub use ims_codegen as codegen;
 pub use ims_core as core;
 pub use ims_deps as deps;
+pub use ims_exact as exact;
 pub use ims_graph as graph;
 pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
@@ -64,9 +67,10 @@ pub use ims_vliw as vliw;
 /// observers/trace utilities from [`mod@trace`].
 pub mod prelude {
     pub use ims_core::{
-        modulo_schedule, NullObserver, ProblemBuilder, SchedConfig, SchedObserver, SchedOutcome,
-        ScheduleError, Scheduler,
+        modulo_schedule, BackendKind, IiBounds, IterativeBackend, NullObserver, ProblemBuilder,
+        SchedConfig, SchedObserver, SchedOutcome, ScheduleError, Scheduler, SchedulerBackend,
     };
+    pub use ims_exact::{schedule_exact, ExactBackend, ExactConfig, ExactOutcome};
     pub use ims_trace::{
         parse_trace, replay, MetricsObserver, Recorder, SchedEvent, TraceSummary, TraceWriter,
     };

@@ -113,6 +113,36 @@ fn odd_trip_counts_cover_epilogue_edge_cases() {
 }
 
 #[test]
+fn exact_schedules_execute_correctly() {
+    // Schedules from the exact branch-and-bound backend flow through the
+    // same validator and VLIW simulator as iterative ones; the pipelined
+    // execution must match sequential semantics on every kernel.
+    use ims::exact::{schedule_exact, ExactConfig};
+    let machine = cydra();
+    let config = ExactConfig::new().node_limit(Some(200_000));
+    for k in kernels(16) {
+        let body = back_substitute(&k.body, &machine);
+        let problem = build_problem(&body, &machine, &BuildOptions::default());
+        let out = schedule_exact(&problem, &config)
+            .unwrap_or_else(|e| panic!("{} fails to schedule exactly: {e}", k.name));
+        validate_schedule(&problem, &out.schedule)
+            .unwrap_or_else(|v| panic!("{} produced an illegal exact schedule: {v}", k.name));
+        assert!(out.schedule.ii >= out.mii.mii);
+        assert!(out.schedule.ii <= out.ims_ii, "exact beats or matches the heuristic");
+        assert!(out.bounds.proved_lb <= out.bounds.best_ub);
+
+        let image = image_for(&k, &body);
+        let seq = run_sequential(&body, image.clone())
+            .unwrap_or_else(|e| panic!("{} reference run failed: {e}", k.name));
+        let pipe = run_overlapped(&body, &problem, &out.schedule, image)
+            .unwrap_or_else(|e| panic!("{} overlapped run failed: {e}", k.name));
+        if let Some(m) = compare_results(&seq, &pipe) {
+            panic!("{}: exact-scheduled overlapped != sequential: {m:?}", k.name);
+        }
+    }
+}
+
+#[test]
 fn pipelining_actually_overlaps_iterations() {
     // For at least the vectorizable kernels the pipelined execution must be
     // far faster than sequential issue (that is the whole point).

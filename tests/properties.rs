@@ -210,6 +210,41 @@ fn null_observer_is_invisible() {
 }
 
 #[test]
+fn exact_backend_brackets_the_heuristic() {
+    use ims::exact::{schedule_exact, ExactConfig};
+
+    check(
+        "exact_backend_brackets_the_heuristic",
+        &PropConfig::with_cases(48),
+        &[],
+        gen_loop,
+        |(seed, cfg)| {
+            let body = generate_loop(&mut Xoshiro256::seed_from_u64(*seed), cfg);
+            let machine = cydra();
+            let body = back_substitute(&body, &machine);
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let ims =
+                modulo_schedule(&problem, &SchedConfig::with_budget_ratio(6.0)).expect("schedules");
+            let exact = schedule_exact(&problem, &ExactConfig::new().node_limit(Some(500_000)))
+                .expect("the exact backend degrades, never fails");
+            // The exact schedule is legal and never worse than the
+            // heuristic's; both sit at or above the MII.
+            prop_assert!(validate_schedule(&problem, &exact.schedule).is_ok());
+            prop_assert!(exact.schedule.ii <= ims.schedule.ii);
+            prop_assert!(exact.schedule.ii >= exact.mii.mii);
+            prop_assert_eq!(exact.ims_ii, ims.schedule.ii);
+            // Bounds are a sane interval around the true minimum.
+            prop_assert!(exact.bounds.proved_lb >= exact.mii.mii);
+            prop_assert!(exact.bounds.proved_lb <= exact.bounds.best_ub);
+            prop_assert_eq!(exact.bounds.best_ub, exact.schedule.ii);
+            // A search that ran to completion pins the optimum exactly.
+            prop_assert_eq!(!exact.limit_hit, exact.bounds.is_exact());
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn back_substitution_never_raises_the_mii() {
     check(
         "back_substitution_never_raises_the_mii",

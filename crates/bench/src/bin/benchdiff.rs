@@ -1,0 +1,84 @@
+//! Compares two `BENCH_<name>.json` profile snapshots and fails on
+//! regression — the perf gate behind `scripts/verify.sh` and CI.
+//!
+//! ```text
+//! benchdiff BASE NEW [--counter-threshold R] [--wall-threshold R]
+//!           [--min-wall-ns N] [--strict-counters] [--no-wall]
+//! ```
+//!
+//! Deterministic counters and histogram sums regress when the new value
+//! exceeds `base × counter-threshold` (default 1.0: any increase in
+//! deterministic work is a regression). `--strict-counters` demands exact
+//! equality in both directions — the CI mode, where the deterministic
+//! sections must match a committed baseline byte-for-byte. Gauges must
+//! always match exactly (differing gauges mean the workloads are not
+//! comparable). Wall-clock totals regress only past `wall-threshold`
+//! (default 2.0) and only when the base total is at least `min-wall-ns`
+//! (default 1 ms — below that, timing noise dominates); `--no-wall`
+//! skips wall comparison entirely, e.g. when the snapshots come from
+//! different machines. Improvements are reported but never fail.
+//!
+//! Exit status: 0 when the comparison passes, 1 on regression, 2 on
+//! usage, I/O, or parse errors.
+
+use ims_prof::diff::{diff_snapshots, DiffOptions};
+use ims_prof::snapshot::Snapshot;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchdiff BASE NEW [--counter-threshold R] [--wall-threshold R]\n\
+         \x20                      [--min-wall-ns N] [--strict-counters] [--no-wall]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Snapshot::parse(&text).unwrap_or_else(|e| {
+        eprintln!("benchdiff: malformed snapshot {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<&str> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut numeric = |what: &str| -> f64 {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => {
+                    eprintln!("benchdiff: {what} needs a numeric value");
+                    usage();
+                }
+            }
+        };
+        match a.as_str() {
+            "--counter-threshold" => opts.counter_threshold = numeric("--counter-threshold"),
+            "--wall-threshold" => opts.wall_threshold = numeric("--wall-threshold"),
+            "--min-wall-ns" => opts.min_wall_ns = numeric("--min-wall-ns") as u64,
+            "--strict-counters" => opts.strict_counters = true,
+            "--no-wall" => opts.compare_wall = false,
+            _ if a.starts_with("--") => {
+                eprintln!("benchdiff: unknown flag {a}");
+                usage();
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let base = load(base_path);
+    let new = load(new_path);
+    let report = diff_snapshots(&base, &new, &opts);
+    print!("{}", report.render(base_path, new_path));
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}

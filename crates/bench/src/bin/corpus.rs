@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! corpus [--seed H] [--loops N] [--budget R] [--threads T] [--trace DIR]
-//!        [--backend ims|exact] [--deadline-ms D] [--wall]
+//!        [--backend ims|exact] [--deadline-ms D] [--wall] [--profile FILE]
 //! ```
 //!
 //! Defaults: the paper's 1327-loop corpus at seed `0xC4D5`, BudgetRatio 6,
@@ -24,8 +24,18 @@
 //! `D × NODES_PER_MS` per loop (0 = unlimited), so the output stays
 //! byte-identical across runs and thread counts. `--wall` appends the
 //! (non-deterministic) per-loop `wall_ns` timing to each line.
+//!
+//! `--profile FILE` additionally profiles every pipeline phase (including
+//! code generation and VLIW simulation, which only run under this flag)
+//! and writes a versioned `BENCH_<name>.json` snapshot to `FILE`. The
+//! JSON lines on stdout — and any `--trace` files — are byte-identical
+//! with and without profiling, and the snapshot's deterministic sections
+//! are byte-identical across `--threads` values; only its wall section
+//! varies. Compare snapshots with `benchdiff`, render them with
+//! `profile_report`.
 
 use ims_bench::pool::{default_threads, parse_threads};
+use ims_bench::profile::{measure_corpus_profiled, parse_profile_path, write_profile};
 use ims_bench::{
     corpus_jsonl_opts, measure_corpus_backend, measure_corpus_traced, node_budget_for_ms,
     parse_trace_dir,
@@ -60,36 +70,57 @@ fn main() {
     let with_wall = args.iter().any(|a| a == "--wall");
     let threads = parse_threads(&args).unwrap_or_else(default_threads);
     let trace_dir = parse_trace_dir(&args);
+    let profile_path = parse_profile_path(&args);
 
     let Some(backend) = BackendKind::parse(&backend_name) else {
         eprintln!("corpus: unknown --backend {backend_name:?} (expected ims or exact)");
         std::process::exit(2);
     };
+    if trace_dir.is_some() && backend == BackendKind::Exact {
+        eprintln!("corpus: --trace is only supported with --backend ims");
+        std::process::exit(2);
+    }
 
     let corpus = corpus_of_size(seed, loops);
     let machine = cydra();
     let t0 = std::time::Instant::now();
-    let ms = match backend {
-        BackendKind::Ims => {
-            measure_corpus_traced(&corpus, &machine, budget, threads, trace_dir.as_deref(), "")
-                .unwrap_or_else(|e| {
-                    eprintln!("corpus: cannot write traces: {e}");
-                    std::process::exit(1);
-                })
-        }
-        BackendKind::Exact => {
-            if trace_dir.is_some() {
-                eprintln!("corpus: --trace is only supported with --backend ims");
-                std::process::exit(2);
+    let ms = if let Some(profile_path) = &profile_path {
+        let (ms, reg) = measure_corpus_profiled(
+            &corpus,
+            &machine,
+            backend,
+            budget,
+            node_budget_for_ms(deadline_ms),
+            threads,
+            trace_dir.as_deref(),
+            "",
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("corpus: cannot write traces: {e}");
+            std::process::exit(1);
+        });
+        write_profile(profile_path, "corpus", &reg).unwrap_or_else(|e| {
+            eprintln!("corpus: cannot write profile {}: {e}", profile_path.display());
+            std::process::exit(1);
+        });
+        ms
+    } else {
+        match backend {
+            BackendKind::Ims => {
+                measure_corpus_traced(&corpus, &machine, budget, threads, trace_dir.as_deref(), "")
+                    .unwrap_or_else(|e| {
+                        eprintln!("corpus: cannot write traces: {e}");
+                        std::process::exit(1);
+                    })
             }
-            measure_corpus_backend(
+            BackendKind::Exact => measure_corpus_backend(
                 &corpus,
                 &machine,
                 backend,
                 budget,
                 node_budget_for_ms(deadline_ms),
                 threads,
-            )
+            ),
         }
     };
     let elapsed = t0.elapsed();
@@ -104,4 +135,7 @@ fn main() {
         if threads == 1 { "" } else { "s" },
         ms.len() as f64 / (elapsed.as_secs_f64() * 1e3),
     );
+    if let Some(p) = &profile_path {
+        eprintln!("profile snapshot written to {}", p.display());
+    }
 }

@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! optgap [--seed H] [--loops N] [--threads T] [--deadline-ms D]
+//!        [--wall] [--trace DIR] [--profile FILE]
 //! ```
 //!
 //! Defaults: 300 loops at seed `0xC4D5`, one worker per core, a 5-second
@@ -23,13 +24,34 @@
 //! reports, over the `decided` loops (those with proven optima), the
 //! summed gap `Σ (II − II*)` and the count of optimally scheduled loops
 //! per budget ratio.
+//!
+//! The corpus driver's opt-in extras work here too, with the same
+//! determinism contract:
+//!
+//! * `--wall` appends the (non-deterministic) per-loop `wall_ns` timing
+//!   to each line — the whole loop's work: the exact search plus all four
+//!   heuristic runs.
+//! * `--trace DIR` writes one JSON-lines event trace per loop
+//!   (`loop_00042.jsonl`, …), byte-identical across thread counts. Each
+//!   trace carries five back-to-back runs: the exact backend's, then the
+//!   four heuristic runs in BudgetRatio order, each introduced by its
+//!   `backend` event.
+//! * `--profile FILE` writes a versioned `BENCH_<name>.json` snapshot
+//!   covering every phase of the harness (exact search, the heuristic
+//!   sweep, graph analysis, MRT probes), with deterministic sections
+//!   byte-identical across `--threads` values. stdout is unchanged.
 
-use ims_bench::{node_budget_for_ms, pool};
-use ims_core::{modulo_schedule, SchedConfig};
+use ims_bench::profile::{
+    flush_counters, parse_profile_path, write_profile, ProfObserver,
+};
+use ims_bench::{node_budget_for_ms, parse_trace_dir, pool};
+use ims_core::{NullObserver, SchedConfig, SchedObserver, Scheduler};
 use ims_deps::{back_substitute, build_problem, BuildOptions};
-use ims_exact::{schedule_exact, ExactConfig};
+use ims_exact::{schedule_exact_observed, schedule_exact_profiled, ExactConfig};
 use ims_loopgen::corpus_of_size;
 use ims_machine::cydra;
+use ims_prof::{phase, MetricsRegistry, PhaseTimer};
+use ims_trace::TraceWriter;
 
 /// The §4.3 BudgetRatio sweep, labeled `b1` … `b6` in the output.
 const RATIOS: [(f64, &str); 4] = [(1.0, "b1"), (2.0, "b2"), (3.0, "b3"), (6.0, "b6")];
@@ -42,6 +64,7 @@ struct Row {
     limit_hit: bool,
     nodes: u64,
     iis: [i64; RATIOS.len()],
+    wall_ns: u64,
 }
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
@@ -60,41 +83,126 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     default
 }
 
+/// Closes a span into the registry when profiling, discards it otherwise.
+fn span_end(t: PhaseTimer, reg: &mut Option<MetricsRegistry>) {
+    match reg.as_mut() {
+        Some(r) => {
+            t.finish(r);
+        }
+        None => t.cancel(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed: u64 = flag(&args, "--seed", 0xC4D5);
     let loops: usize = flag(&args, "--loops", 300);
     let deadline_ms: u64 = flag(&args, "--deadline-ms", 5000);
     let threads = pool::parse_threads(&args).unwrap_or_else(pool::default_threads);
+    let with_wall = args.iter().any(|a| a == "--wall");
+    let trace_dir = parse_trace_dir(&args);
+    let profile_path = parse_profile_path(&args);
+
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("optgap: cannot create trace directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
 
     let corpus = corpus_of_size(seed, loops);
     let machine = cydra();
     let exact_config = ExactConfig::new().node_limit(node_budget_for_ms(deadline_ms));
+    let profiling = profile_path.is_some();
+    let tracing = trace_dir.is_some();
 
     let t0 = std::time::Instant::now();
-    let rows: Vec<Row> = pool::par_map(&corpus.loops, threads, |_, l| {
-        let body = back_substitute(&l.body, &machine);
-        let problem = build_problem(&body, &machine, &BuildOptions::default());
-        let exact = schedule_exact(&problem, &exact_config)
+    let results: Vec<(Row, Option<String>, Option<MetricsRegistry>)> =
+        pool::par_map(&corpus.loops, threads, |_, l| {
+            let mut reg = profiling.then(MetricsRegistry::new);
+            let mut tracer = tracing.then(TraceWriter::in_memory);
+            let mut null = NullObserver;
+            let mut obs: &mut dyn SchedObserver = match tracer.as_mut() {
+                Some(t) => t,
+                None => &mut null,
+            };
+
+            let whole = PhaseTimer::start(phase::WALL_LOOP);
+            let wall0 = std::time::Instant::now();
+
+            let t = PhaseTimer::start(phase::WALL_BUILD);
+            let body = back_substitute(&l.body, &machine);
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            span_end(t, &mut reg);
+
+            let t = PhaseTimer::start(phase::WALL_EXACT);
+            let exact = match reg.as_mut() {
+                Some(r) => schedule_exact_profiled(&problem, &exact_config, &mut obs, &mut *r),
+                None => schedule_exact_observed(&problem, &exact_config, &mut obs),
+            }
             .expect("corpus loops always schedule under the automatic II cap");
-        let mut iis = [0i64; RATIOS.len()];
-        for (slot, (ratio, _)) in iis.iter_mut().zip(RATIOS) {
-            *slot = modulo_schedule(&problem, &SchedConfig::with_budget_ratio(ratio))
-                .expect("corpus loops always schedule under the automatic II cap")
-                .schedule
-                .ii;
-        }
-        Row {
-            ops: problem.num_ops(),
-            mii: exact.mii.mii,
-            exact_lb: exact.bounds.proved_lb,
-            exact_ub: exact.bounds.best_ub,
-            limit_hit: exact.limit_hit,
-            nodes: exact.nodes,
-            iis,
-        }
-    });
+            span_end(t, &mut reg);
+
+            let t = PhaseTimer::start(phase::WALL_SCHED);
+            let mut iis = [0i64; RATIOS.len()];
+            for (slot, (ratio, _)) in iis.iter_mut().zip(RATIOS) {
+                let config = SchedConfig::with_budget_ratio(ratio);
+                let out = match reg.as_mut() {
+                    Some(r) => Scheduler::new(&problem)
+                        .config(config)
+                        .observer(ProfObserver::new(&mut obs, r))
+                        .run(),
+                    None => Scheduler::new(&problem).config(config).observer(&mut obs).run(),
+                }
+                .expect("corpus loops always schedule under the automatic II cap");
+                if let Some(r) = reg.as_mut() {
+                    flush_counters(&out.stats.counters, r);
+                    r.add(phase::SCHED_STEPS, out.stats.total_steps());
+                }
+                *slot = out.schedule.ii;
+            }
+            span_end(t, &mut reg);
+
+            if let Some(r) = reg.as_mut() {
+                r.add(phase::CORPUS_LOOPS, 1);
+                r.add(phase::CORPUS_OPS, problem.num_ops() as u64);
+            }
+            span_end(whole, &mut reg);
+
+            let row = Row {
+                ops: problem.num_ops(),
+                mii: exact.mii.mii,
+                exact_lb: exact.bounds.proved_lb,
+                exact_ub: exact.bounds.best_ub,
+                limit_hit: exact.limit_hit,
+                nodes: exact.nodes,
+                iis,
+                wall_ns: wall0.elapsed().as_nanos() as u64,
+            };
+            (row, tracer.map(TraceWriter::into_string), reg)
+        });
     let elapsed = t0.elapsed();
+
+    let mut rows = Vec::with_capacity(results.len());
+    let mut total = MetricsRegistry::new();
+    for (index, (row, trace, reg)) in results.into_iter().enumerate() {
+        if let (Some(dir), Some(trace)) = (&trace_dir, trace) {
+            if let Err(e) = std::fs::write(dir.join(format!("loop_{index:05}.jsonl")), trace) {
+                eprintln!("optgap: cannot write traces: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(reg) = reg {
+            total.merge(&reg);
+        }
+        rows.push(row);
+    }
+    if let Some(p) = &profile_path {
+        if let Err(e) = write_profile(p, "optgap", &total) {
+            eprintln!("optgap: cannot write profile {}: {e}", p.display());
+            std::process::exit(1);
+        }
+    }
 
     let mut out = String::with_capacity(rows.len() * 160);
     for (i, r) in rows.iter().enumerate() {
@@ -105,6 +213,9 @@ fn main() {
         ));
         for (&ii, (_, label)) in r.iis.iter().zip(RATIOS) {
             out.push_str(&format!(",\"ii_{label}\":{ii}"));
+        }
+        if with_wall {
+            out.push_str(&format!(",\"wall_ns\":{}", r.wall_ns));
         }
         out.push_str("}\n");
     }
@@ -133,4 +244,7 @@ fn main() {
         threads,
         if threads == 1 { "" } else { "s" },
     );
+    if let Some(p) = &profile_path {
+        eprintln!("profile snapshot written to {}", p.display());
+    }
 }

@@ -10,7 +10,9 @@
 //! iterative modulo scheduling is empirically O(N²) overall.
 
 use ims_bench::pool::threads_from_args;
+use ims_bench::profile::{measure_corpus_profiled, parse_profile_path, write_profile};
 use ims_bench::{measure_corpus_traced, parse_trace_dir};
+use ims_core::BackendKind;
 use ims_loopgen::paper_corpus;
 use ims_machine::cydra;
 use ims_stats::table::Table;
@@ -25,11 +27,33 @@ fn main() {
     );
     let args: Vec<String> = std::env::args().collect();
     let trace_dir = parse_trace_dir(&args);
-    let ms = measure_corpus_traced(&corpus, &cydra(), 6.0, threads, trace_dir.as_deref(), "")
+    let ms = if let Some(profile_path) = parse_profile_path(&args) {
+        let (ms, reg) = measure_corpus_profiled(
+            &corpus,
+            &cydra(),
+            BackendKind::Ims,
+            6.0,
+            None,
+            threads,
+            trace_dir.as_deref(),
+            "",
+        )
         .unwrap_or_else(|e| {
             eprintln!("table4: cannot write traces: {e}");
             std::process::exit(1);
         });
+        write_profile(&profile_path, "table4", &reg).unwrap_or_else(|e| {
+            eprintln!("table4: cannot write profile {}: {e}", profile_path.display());
+            std::process::exit(1);
+        });
+        ms
+    } else {
+        measure_corpus_traced(&corpus, &cydra(), 6.0, threads, trace_dir.as_deref(), "")
+            .unwrap_or_else(|e| {
+                eprintln!("table4: cannot write traces: {e}");
+                std::process::exit(1);
+            })
+    };
 
     let ns: Vec<f64> = ms.iter().map(|m| m.n_ops as f64).collect();
     let fit1 = |ys: &[f64]| {

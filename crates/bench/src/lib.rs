@@ -19,6 +19,9 @@
 //! | `bench_mii` | std-only micro-benchmarks of the MII bounds and HeightR ([`micro`]) |
 //! | `corpus`   | the parallel corpus-scheduling driver: JSON-line per-loop results, byte-identical across `--threads` values |
 //! | `trace_report` | per-loop convergence reports rendered from a `--trace` directory |
+//! | `optgap`   | the optimality-gap harness: exact branch-and-bound vs. the BudgetRatio sweep |
+//! | `profile_report` | human-readable tables rendered from a `BENCH_<name>.json` profile snapshot |
+//! | `benchdiff` | compares two profile snapshots under per-phase thresholds; nonzero exit on regression |
 //!
 //! This library holds the shared machinery: [`measure_corpus_threads`]
 //! fans the modulo scheduler out over the std-only worker pool in
@@ -27,7 +30,12 @@
 //! corpus binaries accept `--threads N` (default: one worker per core)
 //! and `--trace DIR`, which additionally writes one JSON-lines event
 //! trace per loop via [`measure_corpus_traced`] — byte-identical across
-//! thread counts, inspectable with `trace_report`.
+//! thread counts, inspectable with `trace_report`. The corpus drivers
+//! (`corpus`, `optgap`, `table3`, `table4`) also accept `--profile FILE`,
+//! which measures every pipeline phase via [`profile`] and writes a
+//! versioned `BENCH_<name>.json` snapshot whose deterministic sections
+//! are byte-identical across thread counts; compare snapshots with
+//! `benchdiff` and render them with `profile_report`.
 
 use ims_core::{
     height_r, list_schedule, BackendKind, Counters, NullObserver, Problem, SchedConfig,
@@ -42,6 +50,7 @@ use ims_trace::TraceWriter;
 
 pub mod micro;
 pub mod pool;
+pub mod profile;
 
 /// Deterministic stand-in for a wall-clock deadline in the harness
 /// paths: `--deadline-ms N` is converted to a branch-and-bound node
@@ -414,7 +423,7 @@ fn measurement_json_core(index: usize, m: &LoopMeasurement) -> String {
          \"mii\":{},\"ii\":{},\"delta_ii\":{},\"length\":{},\"length_lower\":{},\
          \"final_steps\":{},\"total_steps\":{},\"scc_work\":{},\"resmii_work\":{},\
          \"mindist_work\":{},\"heightr_work\":{},\"estart_preds\":{},\
-         \"findslot_iters\":{},\"evictions\":{}}}",
+         \"findslot_iters\":{},\"evictions\":{},\"mrt_probes\":{}}}",
         m.n_ops,
         m.n_edges,
         m.res_mii,
@@ -433,6 +442,7 @@ fn measurement_json_core(index: usize, m: &LoopMeasurement) -> String {
         c.estart_preds,
         c.findslot_iters,
         c.evictions,
+        c.mrt_probes,
     )
 }
 
@@ -461,11 +471,12 @@ pub fn corpus_jsonl_opts(ms: &[LoopMeasurement], with_wall: bool) -> String {
     }
     let mut agg = format!(
         "{{\"loops\":{},\"ops\":{ops},\"total_steps\":{steps},\"sum_delta_ii\":{delta},\
-         \"mindist_work\":{},\"findslot_iters\":{},\"evictions\":{}}}",
+         \"mindist_work\":{},\"findslot_iters\":{},\"evictions\":{},\"mrt_probes\":{}}}",
         ms.len(),
         total.mindist_work,
         total.findslot_iters,
         total.evictions,
+        total.mrt_probes,
     );
     if ms.iter().any(|m| m.exact.is_some()) {
         let exact: Vec<ExactInfo> = ms.iter().filter_map(|m| m.exact).collect();

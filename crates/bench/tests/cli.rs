@@ -1,0 +1,184 @@
+//! Exit-code and message contracts of the report/diff binaries:
+//! `trace_report` on missing or malformed trace directories, `benchdiff`
+//! as a regression gate, and `profile_report` rendering.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use ims_prof::snapshot::render_snapshot;
+use ims_prof::{phase, MetricsRegistry};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().expect("binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A per-test scratch directory (tests run concurrently in one process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ims_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A baseline-shaped registry with a controllable MinDist counter and
+/// wall span, so tests can inject precise regressions.
+fn registry(mindist: u64, wall_ns: u64) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.add(phase::GRAPH_MINDIST_WORK, mindist);
+    reg.add(phase::SCHED_FINDSLOT_ITERS, 900);
+    reg.observe(phase::HIST_SLOT_SEARCH, 3);
+    reg.record_wall_ns(phase::WALL_SCHED, wall_ns);
+    reg
+}
+
+fn write_snapshot(dir: &PathBuf, file: &str, reg: &MetricsRegistry) -> String {
+    let path = dir.join(file);
+    std::fs::write(&path, render_snapshot("test", reg)).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn trace_report_rejects_a_missing_directory() {
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &["/nonexistent/ims-trace-dir"],
+    );
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_report_rejects_a_malformed_trace() {
+    let dir = scratch("malformed");
+    std::fs::write(dir.join("loop_00000.jsonl"), "this is not a trace event\n").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_trace_report"), &[dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("malformed trace"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_report_rejects_an_empty_directory() {
+    let dir = scratch("empty");
+    let out = run(env!("CARGO_BIN_EXE_trace_report"), &[dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("no .jsonl traces"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn benchdiff_usage_errors_exit_2() {
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &["a.json", "b.json", "--bogus"]);
+    assert_eq!(code(&out), 2);
+
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn benchdiff_passes_a_self_compare_and_flags_an_injected_regression() {
+    let dir = scratch("diff");
+    let base = write_snapshot(&dir, "base.json", &registry(1000, 10_000_000));
+    // The issue's acceptance case: MinDist work tripled.
+    let worse = write_snapshot(&dir, "worse.json", &registry(3000, 10_000_000));
+
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[&base, &base]);
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("PASS"), "{}", stdout(&out));
+
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[&base, &worse]);
+    assert_eq!(code(&out), 1, "a 3x MinDist regression must fail");
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains(phase::GRAPH_MINDIST_WORK), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
+
+    // A generous counter threshold tolerates the same delta.
+    let out = run(
+        env!("CARGO_BIN_EXE_benchdiff"),
+        &[&base, &worse, "--counter-threshold", "4.0"],
+    );
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn benchdiff_strict_counters_fail_in_both_directions() {
+    let dir = scratch("strict");
+    let base = write_snapshot(&dir, "base.json", &registry(1000, 10_000_000));
+    let better = write_snapshot(&dir, "better.json", &registry(900, 10_000_000));
+
+    // Less deterministic work is an improvement by default...
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[&base, &better]);
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+    assert!(stdout(&out).contains("improved"), "{}", stdout(&out));
+
+    // ...but strict mode (the CI baseline gate) demands exact equality.
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[&base, &better, "--strict-counters"]);
+    assert_eq!(code(&out), 1, "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn benchdiff_wall_regressions_respect_threshold_and_no_wall() {
+    let dir = scratch("wall");
+    let base = write_snapshot(&dir, "base.json", &registry(1000, 10_000_000));
+    let slower = write_snapshot(&dir, "slower.json", &registry(1000, 30_000_000));
+
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[&base, &slower]);
+    assert_eq!(code(&out), 1, "a 3x wall regression past the floor must fail");
+    assert!(stdout(&out).contains(phase::WALL_SCHED), "{}", stdout(&out));
+
+    let out = run(env!("CARGO_BIN_EXE_benchdiff"), &[&base, &slower, "--no-wall"]);
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+
+    let out = run(
+        env!("CARGO_BIN_EXE_benchdiff"),
+        &[&base, &slower, "--wall-threshold", "5.0"],
+    );
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_report_renders_and_rejects_bad_input() {
+    let dir = scratch("report");
+    let snap = write_snapshot(&dir, "snap.json", &registry(1000, 10_000_000));
+
+    let out = run(env!("CARGO_BIN_EXE_profile_report"), &[&snap]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains(phase::GRAPH_MINDIST_WORK), "{text}");
+    assert!(text.contains("MinDist relaxations"), "phase descriptions render: {text}");
+    assert!(text.contains("Wall-clock spans"), "{text}");
+
+    let out = run(env!("CARGO_BIN_EXE_profile_report"), &[]);
+    assert_eq!(code(&out), 2);
+
+    let out = run(env!("CARGO_BIN_EXE_profile_report"), &["/nonexistent/snap.json"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{not json").unwrap();
+    let out = run(env!("CARGO_BIN_EXE_profile_report"), &[bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("malformed snapshot"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}

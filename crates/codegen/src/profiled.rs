@@ -1,0 +1,53 @@
+//! [`ProfSink`] wrappers around the code-generation entry points.
+//!
+//! Code generation has no hot inner loop worth metering; what the profiler
+//! wants is the *shape* of the emitted code — instruction counts, unroll
+//! factors, stage counts — as deterministic counters. These wrappers run
+//! the plain entry points and file those totals under the `codegen.*`
+//! phase names; with a `NullSink` they are exactly the plain calls.
+
+use ims_core::{Problem, Schedule};
+use ims_ir::LoopBody;
+use ims_prof::{phase, ProfSink};
+
+use crate::code::MveCode;
+use crate::lifetime::{lifetimes, Lifetime};
+use crate::mve::generate_mve;
+
+/// [`lifetimes`] + a [`phase::CODEGEN_LIFETIME_NAMES`] count of the static
+/// names modulo variable expansion will need (the summed per-value name
+/// counts).
+pub fn lifetimes_profiled<P: ProfSink>(
+    body: &LoopBody,
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    prof: &mut P,
+) -> Vec<Lifetime> {
+    let out = lifetimes(body, problem, schedule);
+    prof.count(
+        phase::CODEGEN_LIFETIME_NAMES,
+        out.iter().map(|l| l.names as u64).sum(),
+    );
+    out
+}
+
+/// [`generate_mve`] + `codegen.*` counters describing the emitted code:
+/// instructions (prologue + unrolled kernel + coda), the unroll factor,
+/// the stage count, and the number of preloaded seed registers.
+pub fn generate_mve_profiled<P: ProfSink>(
+    body: &LoopBody,
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    lifetimes: &[Lifetime],
+    prof: &mut P,
+) -> MveCode {
+    let code = generate_mve(body, problem, schedule, lifetimes);
+    prof.count(
+        phase::CODEGEN_INSTS,
+        (code.prologue.len() + code.kernel.len() + code.coda.len()) as u64,
+    );
+    prof.count(phase::CODEGEN_UNROLL, code.unroll as u64);
+    prof.count(phase::CODEGEN_STAGES, code.stage_count as u64);
+    prof.count(phase::CODEGEN_SEEDS, code.seeds.len() as u64);
+    code
+}

@@ -32,6 +32,11 @@ pub struct Counters {
     /// Zero when every operation is scheduled exactly once (§4.3 reports
     /// that happens for 90% of the paper's loops).
     pub evictions: u64,
+    /// Modulo reservation table probe work: summed reservation-table
+    /// footprints over every conflict check (`FindTimeSlot` probes plus
+    /// eviction scans). Charged per probe up front, so the count is
+    /// deterministic even though conflict checks short-circuit.
+    pub mrt_probes: u64,
 }
 
 impl Counters {
@@ -49,6 +54,7 @@ impl Counters {
         self.estart_preds += other.estart_preds;
         self.findslot_iters += other.findslot_iters;
         self.evictions += other.evictions;
+        self.mrt_probes += other.mrt_probes;
     }
 }
 
@@ -66,6 +72,7 @@ mod tests {
             estart_preds: 5,
             findslot_iters: 6,
             evictions: 7,
+            mrt_probes: 8,
         };
         let mut b = a;
         b.add(&a);
@@ -79,6 +86,7 @@ mod tests {
                 estart_preds: 10,
                 findslot_iters: 12,
                 evictions: 14,
+                mrt_probes: 16,
             }
         );
     }

@@ -155,7 +155,7 @@ pub fn rec_mii(problem: &Problem<'_>, lower: i64, counters: &mut Counters) -> i6
 /// circuits (enumeration is exponential in general, which is exactly why
 /// the paper prefers the MinDist method).
 pub fn rec_mii_by_circuits(problem: &Problem<'_>, max_circuits: usize) -> Option<i64> {
-    let (circuits, complete) = elementary_circuits(problem.graph(), max_circuits);
+    let (circuits, complete) = elementary_circuits(problem.graph(), max_circuits, &mut 0u64);
     if !complete {
         return None;
     }

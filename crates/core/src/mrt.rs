@@ -5,6 +5,8 @@
 //! to record it. Consequently, the schedule reservation table need only be
 //! as long as the II."*
 
+use std::cell::Cell;
+
 use ims_graph::NodeId;
 use ims_machine::ReservationTable;
 
@@ -29,12 +31,29 @@ use ims_machine::ReservationTable;
 /// mrt.remove(NodeId(1), &table, 1);
 /// assert!(!mrt.conflicts(&table, 4));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Mrt {
     ii: i64,
     nres: usize,
     slots: Vec<Option<NodeId>>,
+    /// Deterministic probe-work odometer: the summed
+    /// [`footprint`](ReservationTable::footprint) of every table handed to
+    /// [`Mrt::conflicts`] / [`Mrt::conflicting_nodes_into`]. A `Cell` so
+    /// the read-only probe methods stay `&self`; charged up front so the
+    /// count does not depend on where a conflict check short-circuits.
+    probes: Cell<u64>,
 }
+
+/// Equality compares the schedule state (II, resources, reservations) and
+/// deliberately ignores the probe odometer, which is bookkeeping about how
+/// the table was *used*, not what it holds.
+impl PartialEq for Mrt {
+    fn eq(&self, other: &Self) -> bool {
+        self.ii == other.ii && self.nres == other.nres && self.slots == other.slots
+    }
+}
+
+impl Eq for Mrt {}
 
 impl Mrt {
     /// Creates an empty table for the given II and resource count.
@@ -48,7 +67,14 @@ impl Mrt {
             ii,
             nres: num_resources,
             slots: vec![None; (ii as usize) * num_resources],
+            probes: Cell::new(0),
         }
+    }
+
+    /// Total probe work performed so far (see the `probes` field): one unit
+    /// per `(resource, offset)` pair of every probed reservation table.
+    pub fn probes(&self) -> u64 {
+        self.probes.get()
     }
 
     /// The II this table was sized for.
@@ -64,6 +90,7 @@ impl Mrt {
     /// Whether issuing an operation with reservation `table` at `time`
     /// collides with any current reservation.
     pub fn conflicts(&self, table: &ReservationTable, time: i64) -> bool {
+        self.probes.set(self.probes.get() + table.footprint());
         table
             .uses()
             .iter()
@@ -84,6 +111,7 @@ impl Mrt {
         time: i64,
         out: &mut Vec<NodeId>,
     ) {
+        self.probes.set(self.probes.get() + table.footprint());
         out.clear();
         for &(r, off) in table.uses() {
             if let Some(node) = self.slots[self.slot(time + off as i64, r.index())] {
@@ -242,6 +270,26 @@ mod tests {
         let t = table(&[(0, 0)]);
         mrt.place(NodeId(1), &t, 0);
         mrt.remove(NodeId(2), &t, 0);
+    }
+
+    #[test]
+    fn probe_work_is_charged_up_front_and_ignored_by_equality() {
+        let mut mrt = Mrt::new(3, 2);
+        let wide = table(&[(0, 0), (1, 1)]);
+        mrt.place(NodeId(1), &wide, 0);
+        assert_eq!(mrt.probes(), 0, "place is not a probe");
+        // A conflicting probe and a free probe cost the same: the full
+        // footprint, regardless of short-circuiting.
+        assert!(mrt.conflicts(&wide, 0));
+        assert!(!mrt.conflicts(&wide, 1));
+        assert_eq!(mrt.probes(), 2 * wide.footprint());
+        mrt.conflicting_nodes_into(&wide, 0, &mut Vec::new());
+        assert_eq!(mrt.probes(), 3 * wide.footprint());
+        // Equality sees only the schedule state.
+        let mut fresh = Mrt::new(3, 2);
+        fresh.place(NodeId(1), &wide, 0);
+        assert_eq!(mrt, fresh);
+        assert_ne!(mrt.probes(), fresh.probes());
     }
 
     #[test]

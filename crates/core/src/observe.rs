@@ -81,6 +81,16 @@ pub trait SchedObserver {
         let _ = (node, estart, iters);
     }
 
+    /// The scheduler computed Estart for `node` by examining `preds`
+    /// immediate predecessors (§3.2; fires once per scheduling step,
+    /// including the START/STOP pseudo-operations, just before the
+    /// corresponding `slot_search`). The per-step distribution of `preds`
+    /// is what the profiler's `sched.estart.preds_per_op` histogram
+    /// collects.
+    fn estart_computed(&mut self, node: NodeId, preds: u32) {
+        let _ = (node, preds);
+    }
+
     /// The attempt at `ii` ran out of budget after `spent`
     /// operation-scheduling steps.
     fn budget_exhausted(&mut self, ii: i64, spent: u64) {
@@ -121,6 +131,9 @@ impl<O: SchedObserver + ?Sized> SchedObserver for &mut O {
     fn slot_search(&mut self, node: NodeId, estart: i64, iters: u32) {
         (**self).slot_search(node, estart, iters);
     }
+    fn estart_computed(&mut self, node: NodeId, preds: u32) {
+        (**self).estart_computed(node, preds);
+    }
     fn budget_exhausted(&mut self, ii: i64, spent: u64) {
         (**self).budget_exhausted(ii, spent);
     }
@@ -153,6 +166,7 @@ mod tests {
         obs.op_scheduled(NodeId(1), 0, 0, false);
         obs.op_evicted(NodeId(1), NodeId(2));
         obs.slot_search(NodeId(1), 0, 2);
+        obs.estart_computed(NodeId(1), 3);
         obs.budget_exhausted(2, 10);
         obs.attempt_done(2, false);
     }

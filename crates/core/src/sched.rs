@@ -493,8 +493,10 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
         // Estart: only currently scheduled predecessors constrain the slot,
         // each term clamped at zero (Figure 5b).
         let mut estart = 0i64;
+        let mut preds_examined = 0u32;
         for e in graph.preds(node) {
             counters.estart_preds += 1;
+            preds_examined += 1;
             if e.from == node {
                 continue;
             }
@@ -505,6 +507,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
                 }
             }
         }
+        observer.estart_computed(node, preds_examined);
         let min_time = estart;
         let max_time = min_time + ii - 1;
 
@@ -514,6 +517,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
             // The budget covers real-operation scheduling steps only; it is
             // spent, so this candidate II has failed.
             observer.budget_exhausted(ii, real_steps);
+            counters.mrt_probes += mrt.probes();
             return (None, real_steps);
         }
         let slot = match info {
@@ -623,6 +627,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
         }
     }
 
+    counters.mrt_probes += mrt.probes();
     let time: Vec<i64> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
     let length = time[stop.index()];
     (

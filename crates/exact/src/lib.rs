@@ -55,6 +55,7 @@ use ims_core::{
     modulo_schedule, BackendKind, BackendOutcome, IiBounds, MiiInfo, NullObserver, Problem,
     SchedConfig, SchedObserver, Schedule, ScheduleError, SchedulerBackend,
 };
+use ims_prof::{phase, NullSink, ProfSink};
 
 mod search;
 
@@ -180,6 +181,25 @@ pub fn schedule_exact_observed<O: SchedObserver>(
     config: &ExactConfig,
     observer: &mut O,
 ) -> Result<ExactOutcome, ScheduleError> {
+    schedule_exact_profiled(problem, config, observer, &mut NullSink)
+}
+
+/// [`schedule_exact_observed`] with deterministic search statistics
+/// additionally reported to `prof`: branch-and-bound nodes, memoization
+/// hits/inserts, prune reasons, candidate-II outcomes, and the
+/// MinDist/SCC/MRT work the search performs, all keyed by the profiler's
+/// phase names (`exact.*`, `graph.*`, `machine.mrt.probes`). Passing
+/// `&mut NullSink` makes this exactly [`schedule_exact_observed`].
+///
+/// # Errors
+///
+/// As [`schedule_exact`].
+pub fn schedule_exact_profiled<O: SchedObserver, P: ProfSink>(
+    problem: &Problem<'_>,
+    config: &ExactConfig,
+    observer: &mut O,
+    prof: &mut P,
+) -> Result<ExactOutcome, ScheduleError> {
     observer.backend(BackendKind::Exact);
     let ims = modulo_schedule(problem, &config.heuristic)?;
     let ims_ii = ims.schedule.ii;
@@ -204,7 +224,8 @@ pub fn schedule_exact_observed<O: SchedObserver>(
     for ii in mii.mii..ims_ii {
         let remaining = node_limit.saturating_sub(spent);
         observer.attempt_start(ii, remaining.min(i64::MAX as u64) as i64);
-        let (result, nodes) = search_ii(problem, ii, remaining, deadline);
+        prof.count(phase::EXACT_IIS_SEARCHED, 1);
+        let (result, nodes) = search_ii(problem, ii, remaining, deadline, &mut *prof);
         spent += nodes;
         match result {
             SearchResult::Found(schedule) => {
@@ -220,9 +241,11 @@ pub fn schedule_exact_observed<O: SchedObserver>(
                 });
             }
             SearchResult::Infeasible => {
+                prof.count(phase::EXACT_IIS_INFEASIBLE, 1);
                 observer.attempt_done(ii, false);
             }
             SearchResult::LimitHit => {
+                prof.count(phase::EXACT_LIMIT_HITS, 1);
                 observer.attempt_done(ii, false);
                 emit_final(observer, problem, &ims.schedule);
                 return Ok(ExactOutcome {
@@ -402,6 +425,30 @@ mod tests {
         assert_eq!(out.bounds.proved_lb, out.mii.mii);
         assert_eq!(out.bounds.best_ub, out.ims_ii);
         assert!(validate_schedule(&p, &out.schedule).is_ok());
+    }
+
+    #[test]
+    fn profiled_search_reports_deterministic_statistics() {
+        let m = figure1_machine();
+        let p = figure1_problem(&m);
+        let mut reg = ims_prof::MetricsRegistry::new();
+        let out =
+            schedule_exact_profiled(&p, &ExactConfig::default(), &mut NullObserver, &mut reg)
+                .unwrap();
+        assert_eq!(reg.counter(phase::EXACT_NODES), out.nodes);
+        assert!(reg.counter(phase::EXACT_IIS_SEARCHED) >= 1);
+        assert!(reg.counter(phase::GRAPH_MINDIST_WORK) > 0);
+        assert!(reg.counter(phase::MACHINE_MRT_PROBES) > 0);
+        // Identical runs produce identical registries: every statistic the
+        // search reports is deterministic.
+        let mut again = ims_prof::MetricsRegistry::new();
+        let _ = schedule_exact_profiled(&p, &ExactConfig::default(), &mut NullObserver, &mut again)
+            .unwrap();
+        assert_eq!(reg, again);
+        // The unprofiled entry point is unchanged by profiling.
+        let plain = schedule_exact(&p, &ExactConfig::default()).unwrap();
+        assert_eq!(plain.schedule, out.schedule);
+        assert_eq!(plain.nodes, out.nodes);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::time::Instant;
 
 use ims_core::{Mrt, Problem, Schedule};
 use ims_graph::{sccs, MinDist, MinDistSolver, NodeId, NEG_INF};
+use ims_prof::{phase, ProfSink};
 
 /// Outcome of one exhaustive (or aborted) search at a fixed II.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +101,12 @@ struct Dfs<'a, 'm> {
     node_budget: u64,
     deadline: Option<Instant>,
     memo: HashSet<MemoKey>,
+    /// Deterministic search statistics, flushed to the caller's
+    /// [`ProfSink`] when the search returns.
+    memo_hits: u64,
+    memo_inserts: u64,
+    prune_window: u64,
+    prune_mrt: u64,
 }
 
 impl Dfs<'_, '_> {
@@ -178,7 +185,9 @@ impl Dfs<'_, '_> {
     fn note_failed(&mut self, depth: usize) {
         if depth > 0 && self.memo.len() < MEMO_CAP {
             let key = self.memo_key(depth);
-            self.memo.insert(key);
+            if self.memo.insert(key) {
+                self.memo_inserts += 1;
+            }
         }
     }
 
@@ -211,9 +220,11 @@ impl Dfs<'_, '_> {
             return Some(true);
         }
         if depth > 0 && self.memo.contains(&self.memo_key(depth)) {
+            self.memo_hits += 1;
             return Some(false);
         }
         let Some((lo, hi)) = self.window(depth) else {
+            self.prune_window += 1;
             self.note_failed(depth);
             return Some(false);
         };
@@ -229,6 +240,7 @@ impl Dfs<'_, '_> {
                 let table =
                     &self.problem.info(v).expect("real operation").alternatives[ai].table;
                 if self.mrt.conflicts(table, t) {
+                    self.prune_mrt += 1;
                     continue;
                 }
                 self.nodes += 1;
@@ -262,19 +274,23 @@ impl Dfs<'_, '_> {
 /// spending at most `node_budget` placement attempts (and respecting
 /// `deadline`, polled every few hundred nodes and once on entry).
 /// Returns the result plus the nodes actually spent.
-pub(crate) fn search_ii(
+///
+/// Deterministic search statistics — nodes, memoization hits/inserts,
+/// prune reasons, MinDist/SCC/MRT work — flow into `prof` under their
+/// [`phase`] names; pass `&mut NullSink` to discard them.
+pub(crate) fn search_ii<P: ProfSink>(
     problem: &Problem<'_>,
     ii: i64,
     node_budget: u64,
     deadline: Option<Instant>,
+    prof: &mut P,
 ) -> (SearchResult, u64) {
     if deadline.is_some_and(|d| Instant::now() >= d) {
         return (SearchResult::LimitHit, 0);
     }
     let graph = problem.graph();
     let all: Vec<NodeId> = graph.nodes().collect();
-    let mut work = 0u64;
-    let md = MinDistSolver::new(graph, &all).solve(ii, &mut work);
+    let md = MinDistSolver::new(graph, &all).solve(ii, &mut *prof);
     if !md.feasible() {
         // A positive MinDist diagonal is already a proof: no schedule
         // exists at this II regardless of resources.
@@ -283,7 +299,7 @@ pub(crate) fn search_ii(
 
     let start = problem.start();
     let stop = problem.stop();
-    let info = sccs(graph, &mut work);
+    let info = sccs(graph, &mut *prof);
 
     // Scheduling order: SCC blocks in topological (sources-first) order
     // of the condensation; within a block by MinDist-to-STOP height
@@ -341,9 +357,22 @@ pub(crate) fn search_ii(
         node_budget,
         deadline,
         memo: HashSet::new(),
+        memo_hits: 0,
+        memo_inserts: 0,
+        prune_window: 0,
+        prune_mrt: 0,
     };
 
-    match dfs.dfs(0) {
+    let outcome = dfs.dfs(0);
+
+    prof.count(phase::EXACT_NODES, dfs.nodes);
+    prof.count(phase::EXACT_MEMO_HITS, dfs.memo_hits);
+    prof.count(phase::EXACT_MEMO_INSERTS, dfs.memo_inserts);
+    prof.count(phase::EXACT_PRUNE_WINDOW, dfs.prune_window);
+    prof.count(phase::EXACT_PRUNE_MRT, dfs.prune_mrt);
+    prof.count(phase::MACHINE_MRT_PROBES, dfs.mrt.probes());
+
+    match outcome {
         Some(true) => {
             let mut time = dfs.time;
             let alternative = dfs.alt;

@@ -9,6 +9,8 @@
 //! method (Huff's minimal cost-to-time-ratio formulation), which is the one
 //! the scheduler uses.
 
+use ims_prof::{phase, ProfSink};
+
 use crate::graph::{DepGraph, NodeId};
 
 /// An elementary circuit: *"a path through the graph which starts and ends
@@ -55,7 +57,15 @@ impl Circuit {
 /// `delay − II·distance` edge… which depends on II. To stay II-independent
 /// this function instead enumerates circuits over *distinct edge choices*:
 /// parallel edges produce distinct circuits.
-pub fn elementary_circuits(graph: &DepGraph, max_circuits: usize) -> (Vec<Circuit>, bool) {
+///
+/// `work` counts path-extension attempts (one per edge examined during the
+/// search) under [`phase::GRAPH_CIRCUITS_WORK`]; pass `&mut 0u64` to
+/// discard or a `MetricsRegistry` to collect.
+pub fn elementary_circuits<W: ProfSink>(
+    graph: &DepGraph,
+    max_circuits: usize,
+    work: &mut W,
+) -> (Vec<Circuit>, bool) {
     let n = graph.num_nodes();
     let mut out = Vec::new();
     let mut complete = true;
@@ -80,6 +90,7 @@ pub fn elementary_circuits(graph: &DepGraph, max_circuits: usize) -> (Vec<Circui
             if *pos < succ.len() {
                 let e = succ[*pos];
                 *pos += 1;
+                work.count(phase::GRAPH_CIRCUITS_WORK, 1);
                 if e.to.0 < s {
                     continue; // Only vertices ≥ root participate.
                 }
@@ -124,7 +135,7 @@ mod tests {
     fn self_loop_is_a_circuit() {
         let mut g = DepGraph::with_nodes(1);
         g.add_edge(NodeId(0), NodeId(0), 3, 1, DepKind::Flow, false);
-        let (cs, complete) = elementary_circuits(&g, 100);
+        let (cs, complete) = elementary_circuits(&g, 100, &mut 0u64);
         assert!(complete);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].delay, 3);
@@ -137,7 +148,7 @@ mod tests {
         let mut g = DepGraph::with_nodes(2);
         g.add_edge(NodeId(0), NodeId(1), 4, 0, DepKind::Flow, false);
         g.add_edge(NodeId(1), NodeId(0), 3, 2, DepKind::Flow, false);
-        let (cs, _) = elementary_circuits(&g, 100);
+        let (cs, _) = elementary_circuits(&g, 100, &mut 0u64);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].delay, 7);
         assert_eq!(cs[0].distance, 2);
@@ -149,7 +160,7 @@ mod tests {
         let mut g = DepGraph::with_nodes(3);
         g.add_edge(NodeId(0), NodeId(1), 1, 0, DepKind::Flow, false);
         g.add_edge(NodeId(1), NodeId(2), 1, 0, DepKind::Flow, false);
-        let (cs, complete) = elementary_circuits(&g, 100);
+        let (cs, complete) = elementary_circuits(&g, 100, &mut 0u64);
         assert!(complete);
         assert!(cs.is_empty());
     }
@@ -162,7 +173,7 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(0), 1, 1, DepKind::Flow, false);
         g.add_edge(NodeId(1), NodeId(2), 1, 0, DepKind::Flow, false);
         g.add_edge(NodeId(2), NodeId(0), 1, 1, DepKind::Flow, false);
-        let (cs, _) = elementary_circuits(&g, 100);
+        let (cs, _) = elementary_circuits(&g, 100, &mut 0u64);
         assert_eq!(cs.len(), 2);
         let mut lens: Vec<usize> = cs.iter().map(|c| c.nodes.len()).collect();
         lens.sort();
@@ -174,7 +185,7 @@ mod tests {
         let mut g = DepGraph::with_nodes(1);
         g.add_edge(NodeId(0), NodeId(0), 3, 1, DepKind::Flow, false);
         g.add_edge(NodeId(0), NodeId(0), 5, 1, DepKind::Output, false);
-        let (cs, _) = elementary_circuits(&g, 100);
+        let (cs, _) = elementary_circuits(&g, 100, &mut 0u64);
         assert_eq!(cs.len(), 2);
         let max_ii = cs.iter().map(Circuit::min_ii).max().unwrap();
         assert_eq!(max_ii, 5);
@@ -191,10 +202,10 @@ mod tests {
                 }
             }
         }
-        let (cs, complete) = elementary_circuits(&g, 3);
+        let (cs, complete) = elementary_circuits(&g, 3, &mut 0u64);
         assert_eq!(cs.len(), 3);
         assert!(!complete);
-        let (all, complete) = elementary_circuits(&g, 10_000);
+        let (all, complete) = elementary_circuits(&g, 10_000, &mut 0u64);
         assert!(complete);
         // Known circuit count for K5 (directed): sum over k=2..5 of
         // C(5,k) * (k-1)! = 10*1 + 10*2 + 5*6 + 1*24 = 84.
@@ -205,7 +216,7 @@ mod tests {
     fn negative_delay_circuit_min_ii_is_zero() {
         let mut g = DepGraph::with_nodes(1);
         g.add_edge(NodeId(0), NodeId(0), -2, 1, DepKind::Anti, false);
-        let (cs, _) = elementary_circuits(&g, 10);
+        let (cs, _) = elementary_circuits(&g, 10, &mut 0u64);
         assert_eq!(cs[0].min_ii(), 0);
     }
 }

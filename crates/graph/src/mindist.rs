@@ -11,6 +11,8 @@
 //! `delay − II·distance`, restricted to an arbitrary node subset so it can
 //! be run one SCC at a time as the paper recommends.
 
+use ims_prof::{phase, ProfSink};
+
 use crate::graph::{DepGraph, NodeId};
 
 /// Sentinel for "no path": far enough below zero that adding two of them
@@ -137,7 +139,7 @@ impl MinDistSolver {
     /// Runs the max-plus Floyd–Warshall for candidate `ii` into the scratch
     /// matrix. `work` counts innermost-loop executions exactly as
     /// [`compute_min_dist`] does.
-    fn relax(&mut self, ii: i64, work: &mut u64) {
+    fn relax<W: ProfSink>(&mut self, ii: i64, work: &mut W) {
         assert!(ii >= 1, "candidate II must be at least 1");
         let n = self.nodes.len();
         self.d.fill(NEG_INF);
@@ -160,7 +162,7 @@ impl MinDistSolver {
                     continue;
                 }
                 for j in 0..n {
-                    *work += 1;
+                    work.count(phase::GRAPH_MINDIST_WORK, 1);
                     let dkj = d[k * n + j];
                     if dkj == NEG_INF {
                         continue;
@@ -177,14 +179,14 @@ impl MinDistSolver {
 
     /// Whether candidate `ii` satisfies every recurrence in the subset (no
     /// positive diagonal entry), without materializing a [`MinDist`].
-    pub fn probe(&mut self, ii: i64, work: &mut u64) -> bool {
+    pub fn probe<W: ProfSink>(&mut self, ii: i64, work: &mut W) -> bool {
         self.relax(ii, work);
         let n = self.nodes.len();
         (0..n).all(|i| self.d[i * n + i] <= 0)
     }
 
     /// Computes the full [`MinDist`] matrix for candidate `ii`.
-    pub fn solve(&mut self, ii: i64, work: &mut u64) -> MinDist {
+    pub fn solve<W: ProfSink>(&mut self, ii: i64, work: &mut W) -> MinDist {
         self.relax(ii, work);
         MinDist {
             ii,
@@ -209,7 +211,12 @@ impl MinDistSolver {
 /// # Panics
 ///
 /// Panics if `ii < 1` or if `nodes` contains duplicates.
-pub fn compute_min_dist(graph: &DepGraph, nodes: &[NodeId], ii: i64, work: &mut u64) -> MinDist {
+pub fn compute_min_dist<W: ProfSink>(
+    graph: &DepGraph,
+    nodes: &[NodeId],
+    ii: i64,
+    work: &mut W,
+) -> MinDist {
     MinDistSolver::new(graph, nodes).solve(ii, work)
 }
 

@@ -6,6 +6,8 @@
 //! quite a bit more tolerable for the small values of N encountered when N
 //! is the number of operations in a single SCC"*.
 
+use ims_prof::{phase, ProfSink};
+
 use crate::graph::{DepGraph, NodeId};
 
 /// The SCC decomposition of a [`DepGraph`].
@@ -59,7 +61,10 @@ impl SccInfo {
 ///
 /// `work` is incremented once per edge examined plus once per node visited,
 /// giving the `O(N+E)` operation count reported in the paper's Table 4.
-pub fn sccs(graph: &DepGraph, work: &mut u64) -> SccInfo {
+/// Any [`ProfSink`] works: a plain `&mut u64` keeps the historical counter
+/// behaviour, a `MetricsRegistry` files the count under
+/// [`phase::GRAPH_SCC_WORK`].
+pub fn sccs<W: ProfSink>(graph: &DepGraph, work: &mut W) -> SccInfo {
     let n = graph.num_nodes();
     const UNVISITED: u32 = u32::MAX;
     let mut index = vec![UNVISITED; n];
@@ -88,14 +93,14 @@ pub fn sccs(graph: &DepGraph, work: &mut u64) -> SccInfo {
         next_index += 1;
         stack.push(root);
         on_stack[root as usize] = true;
-        *work += 1;
+        work.count(phase::GRAPH_SCC_WORK, 1);
 
         while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
             let vi = v as usize;
             if *pos < succ_targets[vi].len() {
                 let w = succ_targets[vi][*pos];
                 *pos += 1;
-                *work += 1;
+                work.count(phase::GRAPH_SCC_WORK, 1);
                 let wi = w as usize;
                 if index[wi] == UNVISITED {
                     index[wi] = next_index;
@@ -104,7 +109,7 @@ pub fn sccs(graph: &DepGraph, work: &mut u64) -> SccInfo {
                     stack.push(w);
                     on_stack[wi] = true;
                     call_stack.push((w, 0));
-                    *work += 1;
+                    work.count(phase::GRAPH_SCC_WORK, 1);
                 } else if on_stack[wi] {
                     lowlink[vi] = lowlink[vi].min(index[wi]);
                 }

@@ -168,7 +168,7 @@ fn circuit_min_ii_matches_min_dist_threshold() {
         |g| {
             // Drop zero-distance cycles (illegal dependence graphs).
             let nodes: Vec<NodeId> = g.nodes().collect();
-            let (circuits, complete) = elementary_circuits(g, 50_000);
+            let (circuits, complete) = elementary_circuits(g, 50_000, &mut 0u64);
             prop_assume!(complete);
             prop_assume!(circuits.iter().all(|c| c.distance > 0));
             let by_circuits = circuits.iter().map(|c| c.min_ii()).max().unwrap_or(0).max(1);

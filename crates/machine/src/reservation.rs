@@ -74,6 +74,14 @@ impl ReservationTable {
         &self.uses
     }
 
+    /// The number of `(resource, offset)` pairs: the deterministic unit of
+    /// work one MRT probe of this table costs, independent of how early a
+    /// conflict check short-circuits. The profiler's `machine.mrt.probes`
+    /// counter sums this over every probe.
+    pub fn footprint(&self) -> u64 {
+        self.uses.len() as u64
+    }
+
     /// The largest cycle offset used.
     pub fn max_offset(&self) -> u32 {
         self.uses

@@ -1,0 +1,352 @@
+//! Snapshot comparison — the engine behind the `benchdiff` binary.
+//!
+//! Deterministic counters (and histogram sums, which are counters in
+//! disguise) regress when the new value exceeds `base × counter_threshold`;
+//! the default threshold of 1.0 means *any* increase in deterministic work
+//! fails. `--strict-counters` tightens that to exact equality in both
+//! directions, which is what CI uses against the committed baseline. Wall
+//! times are noisy, so they only regress past a generous ratio
+//! (`wall_threshold`, default 2.0) and only for phases whose baseline is
+//! large enough to measure (`min_wall_ns`). Improvements are reported but
+//! never fail.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::Snapshot;
+
+/// Thresholds and switches for [`diff_snapshots`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// A counter (or histogram sum) regresses when
+    /// `new > base * counter_threshold`. 1.0 = any increase fails.
+    pub counter_threshold: f64,
+    /// A wall phase regresses when `new_total > base_total * wall_threshold`.
+    pub wall_threshold: f64,
+    /// Wall phases with a baseline total below this many nanoseconds are
+    /// too small to compare meaningfully and are skipped.
+    pub min_wall_ns: u64,
+    /// Fail on *any* deterministic difference (either direction), the way
+    /// CI compares against the committed baseline.
+    pub strict_counters: bool,
+    /// Compare the wall section at all (`--no-wall` clears this).
+    pub compare_wall: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            counter_threshold: 1.0,
+            wall_threshold: 2.0,
+            min_wall_ns: 1_000_000,
+            strict_counters: false,
+            compare_wall: true,
+        }
+    }
+}
+
+/// One compared phase that crossed a threshold (or is worth reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Which section the phase came from: `"counter"`, `"gauge"`,
+    /// `"hist"`, `"wall"`, or `"schema"`.
+    pub section: &'static str,
+    /// Phase name.
+    pub phase: String,
+    /// Baseline value (counter value, histogram sum, or wall total ns).
+    pub base: i128,
+    /// New value on the same scale as `base`.
+    pub new: i128,
+    /// Human-readable explanation rendered in the report.
+    pub note: String,
+}
+
+impl DiffLine {
+    fn new(section: &'static str, phase: &str, base: i128, new: i128, note: String) -> Self {
+        DiffLine {
+            section,
+            phase: phase.to_string(),
+            base,
+            new,
+            note,
+        }
+    }
+}
+
+/// Outcome of comparing two snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Threshold-crossing changes: the comparison **fails** if non-empty.
+    pub regressions: Vec<DiffLine>,
+    /// Changes in the good direction; informational only.
+    pub improvements: Vec<DiffLine>,
+    /// Phases compared in total (for the summary line).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// True when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the report as the text `benchdiff` prints.
+    pub fn render(&self, base_name: &str, new_name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "benchdiff: {base_name} -> {new_name}");
+        for l in &self.regressions {
+            let _ = writeln!(
+                out,
+                "REGRESSION [{}] {}: {} -> {} ({})",
+                l.section, l.phase, l.base, l.new, l.note
+            );
+        }
+        for l in &self.improvements {
+            let _ = writeln!(
+                out,
+                "improved   [{}] {}: {} -> {} ({})",
+                l.section, l.phase, l.base, l.new, l.note
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} phases compared, {} regressions, {} improvements: {}",
+            self.compared,
+            self.regressions.len(),
+            self.improvements.len(),
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+fn ratio(base: i128, new: i128) -> String {
+    if base == 0 {
+        return format!("{new} from zero baseline");
+    }
+    format!("{:.2}x", new as f64 / base as f64)
+}
+
+/// Compares `new` against `base` under `opts`.
+pub fn diff_snapshots(base: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffReport {
+    let mut rep = DiffReport::default();
+
+    if base.schema != new.schema {
+        rep.regressions.push(DiffLine::new(
+            "schema",
+            "bench_schema",
+            base.schema as i128,
+            new.schema as i128,
+            "snapshot schema versions differ; regenerate the baseline".into(),
+        ));
+    }
+
+    // Counters and histogram sums share regression semantics.
+    let mut counterlike: Vec<(&'static str, String, i128, i128)> = Vec::new();
+    for name in keys(base.counters.keys(), new.counters.keys()) {
+        let b = base.counters.get(&name).copied().unwrap_or(0) as i128;
+        let n = new.counters.get(&name).copied().unwrap_or(0) as i128;
+        counterlike.push(("counter", name, b, n));
+    }
+    for name in keys(base.histograms.keys(), new.histograms.keys()) {
+        let b = base.histograms.get(&name).map(|h| h.sum).unwrap_or(0);
+        let n = new.histograms.get(&name).map(|h| h.sum).unwrap_or(0);
+        counterlike.push(("hist", name, b, n));
+    }
+    for (section, name, b, n) in counterlike {
+        rep.compared += 1;
+        if b == n {
+            continue;
+        }
+        let worse = if opts.strict_counters {
+            true // any deterministic difference fails in strict mode
+        } else {
+            (n as f64) > (b as f64) * opts.counter_threshold
+        };
+        let note = if opts.strict_counters {
+            format!("{} (strict: must match exactly)", ratio(b, n))
+        } else {
+            format!("{} vs threshold {:.2}x", ratio(b, n), opts.counter_threshold)
+        };
+        if worse {
+            rep.regressions.push(DiffLine::new(section, &name, b, n, note));
+        } else if n < b {
+            rep.improvements.push(DiffLine::new(section, &name, b, n, note));
+        }
+    }
+
+    // Gauges describe the workload (loop counts, configuration); if they
+    // disagree the runs are not comparable, which is always a failure.
+    for name in keys(base.gauges.keys(), new.gauges.keys()) {
+        rep.compared += 1;
+        let b = base.gauges.get(&name).copied();
+        let n = new.gauges.get(&name).copied();
+        if b != n {
+            rep.regressions.push(DiffLine::new(
+                "gauge",
+                &name,
+                b.unwrap_or(0) as i128,
+                n.unwrap_or(0) as i128,
+                "workload gauges differ; snapshots are not comparable".into(),
+            ));
+        }
+    }
+
+    if opts.compare_wall {
+        for name in keys(base.wall.keys(), new.wall.keys()) {
+            let (Some(b), Some(n)) = (base.wall.get(&name), new.wall.get(&name)) else {
+                continue; // a phase timed on only one side carries no signal
+            };
+            if b.total_ns < opts.min_wall_ns as i128 {
+                continue;
+            }
+            rep.compared += 1;
+            let limit = b.total_ns as f64 * opts.wall_threshold;
+            if n.total_ns as f64 > limit {
+                rep.regressions.push(DiffLine::new(
+                    "wall",
+                    &name,
+                    b.total_ns,
+                    n.total_ns,
+                    format!(
+                        "{} vs threshold {:.2}x",
+                        ratio(b.total_ns, n.total_ns),
+                        opts.wall_threshold
+                    ),
+                ));
+            } else if (n.total_ns as f64) * opts.wall_threshold < b.total_ns as f64 {
+                rep.improvements.push(DiffLine::new(
+                    "wall",
+                    &name,
+                    b.total_ns,
+                    n.total_ns,
+                    ratio(b.total_ns, n.total_ns),
+                ));
+            }
+        }
+    }
+
+    rep
+}
+
+fn keys<'a>(
+    a: impl Iterator<Item = &'a String>,
+    b: impl Iterator<Item = &'a String>,
+) -> Vec<String> {
+    let mut v: Vec<String> = a.chain(b).cloned().collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::snapshot::render_snapshot;
+
+    fn snap(mindist: u64, wall_ns: u64) -> Snapshot {
+        let mut reg = MetricsRegistry::new();
+        reg.add("graph.mindist.work", mindist);
+        reg.set_gauge("corpus.loops", 60);
+        reg.observe("sched.slot_search.iters", 3);
+        reg.record_wall_ns("sched", wall_ns);
+        Snapshot::parse(&render_snapshot("t", &reg)).unwrap()
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let s = snap(100, 5_000_000);
+        let rep = diff_snapshots(&s, &s, &DiffOptions::default());
+        assert!(rep.passed(), "{}", rep.render("a", "b"));
+        assert!(rep.improvements.is_empty());
+        assert!(rep.compared > 0);
+    }
+
+    #[test]
+    fn counter_increase_regresses_at_default_threshold() {
+        let rep = diff_snapshots(&snap(100, 0), &snap(101, 0), &DiffOptions::default());
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions[0].section, "counter");
+        assert_eq!(rep.regressions[0].phase, "graph.mindist.work");
+        assert!(rep.render("a", "b").contains("FAIL"));
+    }
+
+    #[test]
+    fn counter_increase_under_a_loose_threshold_passes() {
+        let opts = DiffOptions {
+            counter_threshold: 3.0,
+            ..DiffOptions::default()
+        };
+        assert!(diff_snapshots(&snap(100, 0), &snap(299, 0), &opts).passed());
+        assert!(!diff_snapshots(&snap(100, 0), &snap(301, 0), &opts).passed());
+    }
+
+    #[test]
+    fn counter_decrease_is_an_improvement_not_a_failure() {
+        let rep = diff_snapshots(&snap(100, 0), &snap(50, 0), &DiffOptions::default());
+        assert!(rep.passed());
+        assert_eq!(rep.improvements.len(), 1);
+    }
+
+    #[test]
+    fn strict_counters_fail_in_both_directions() {
+        let opts = DiffOptions {
+            strict_counters: true,
+            ..DiffOptions::default()
+        };
+        assert!(!diff_snapshots(&snap(100, 0), &snap(50, 0), &opts).passed());
+        assert!(!diff_snapshots(&snap(100, 0), &snap(150, 0), &opts).passed());
+        assert!(diff_snapshots(&snap(100, 0), &snap(100, 0), &opts).passed());
+    }
+
+    #[test]
+    fn wall_regression_needs_ratio_and_floor() {
+        let opts = DiffOptions::default(); // 2.0x over a 1ms floor
+        // 3x slower on a measurable phase: fail.
+        let rep = diff_snapshots(&snap(1, 5_000_000), &snap(1, 15_000_000), &opts);
+        assert!(!rep.passed());
+        assert_eq!(rep.regressions[0].section, "wall");
+        // 3x slower but under the floor: skipped.
+        assert!(diff_snapshots(&snap(1, 500), &snap(1, 1_500), &opts).passed());
+        // 1.5x slower on a measurable phase: within threshold.
+        assert!(diff_snapshots(&snap(1, 5_000_000), &snap(1, 7_500_000), &opts).passed());
+        // --no-wall ignores even a huge slowdown.
+        let nowall = DiffOptions {
+            compare_wall: false,
+            ..opts
+        };
+        assert!(diff_snapshots(&snap(1, 5_000_000), &snap(1, 500_000_000), &nowall).passed());
+    }
+
+    #[test]
+    fn wall_improvement_is_reported() {
+        let rep = diff_snapshots(
+            &snap(1, 50_000_000),
+            &snap(1, 5_000_000),
+            &DiffOptions::default(),
+        );
+        assert!(rep.passed());
+        assert!(rep.improvements.iter().any(|l| l.section == "wall"));
+    }
+
+    #[test]
+    fn gauge_mismatch_always_fails() {
+        let a = snap(1, 0);
+        let mut reg = MetricsRegistry::new();
+        reg.add("graph.mindist.work", 1);
+        reg.set_gauge("corpus.loops", 120);
+        reg.observe("sched.slot_search.iters", 3);
+        let b = Snapshot::parse(&render_snapshot("t", &reg)).unwrap();
+        let rep = diff_snapshots(&a, &b, &DiffOptions::default());
+        assert!(rep.regressions.iter().any(|l| l.section == "gauge"));
+    }
+
+    #[test]
+    fn schema_mismatch_fails() {
+        let a = snap(1, 0);
+        let mut b = snap(1, 0);
+        b.schema += 1;
+        let rep = diff_snapshots(&a, &b, &DiffOptions::default());
+        assert!(rep.regressions.iter().any(|l| l.section == "schema"));
+    }
+}

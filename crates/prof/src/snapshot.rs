@@ -1,0 +1,580 @@
+//! Versioned `BENCH_<name>.json` profile snapshots.
+//!
+//! A snapshot is a small, stable JSON document with the **deterministic
+//! sections first** (counters, gauges, histogram summaries — byte-
+//! identical for any `--threads` value) and the **wall section last**
+//! (span counts and p50/p90/p99 percentiles in nanoseconds — machine- and
+//! run-dependent). The split is load-bearing: determinism tests and
+//! `scripts/verify.sh` byte-compare [`deterministic_section`] across
+//! thread counts, while `benchdiff` applies generous thresholds to the
+//! wall section only.
+//!
+//! Parsing is done by a ~100-line recursive-descent JSON reader so the
+//! workspace stays dependency-free; it accepts any well-formed JSON
+//! object of the snapshot shape (unknown keys are ignored, so the schema
+//! can grow).
+
+use std::collections::BTreeMap;
+
+use crate::registry::MetricsRegistry;
+
+/// Current snapshot schema version, rendered as `bench_schema`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Percentile summary of a deterministic histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: i128,
+    /// 50th/90th/99th percentiles (nearest rank) and the maximum.
+    pub p50: i64,
+    /// 90th percentile.
+    pub p90: i64,
+    /// 99th percentile.
+    pub p99: i64,
+    /// Largest observation.
+    pub max: i64,
+}
+
+/// Percentile summary of a wall-clock span histogram (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallSummary {
+    /// Number of spans recorded.
+    pub spans: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: i128,
+    /// 50th percentile span, ns.
+    pub p50_ns: i64,
+    /// 90th percentile span, ns.
+    pub p90_ns: i64,
+    /// 99th percentile span, ns.
+    pub p99_ns: i64,
+    /// Longest span, ns.
+    pub max_ns: i64,
+}
+
+/// A parsed (or freshly built) profile snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Schema version (`bench_schema`).
+    pub schema: u64,
+    /// Snapshot name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Deterministic work counters by phase.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic gauges by phase.
+    pub gauges: BTreeMap<String, i64>,
+    /// Deterministic histogram summaries by phase.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Wall-clock span summaries by phase (non-deterministic).
+    pub wall: BTreeMap<String, WallSummary>,
+}
+
+impl Snapshot {
+    /// Summarizes a registry into a snapshot named `name`.
+    pub fn from_registry(name: &str, reg: &MetricsRegistry) -> Snapshot {
+        let mut s = Snapshot {
+            schema: SCHEMA_VERSION,
+            name: name.to_string(),
+            ..Snapshot::default()
+        };
+        for (k, v) in reg.counters() {
+            s.counters.insert(k.to_string(), v);
+        }
+        for (k, v) in reg.gauges() {
+            s.gauges.insert(k.to_string(), v);
+        }
+        for (k, h) in reg.hists() {
+            s.histograms.insert(
+                k.to_string(),
+                HistSummary {
+                    count: h.total(),
+                    sum: h.sum(),
+                    p50: h.p50().unwrap_or(0),
+                    p90: h.p90().unwrap_or(0),
+                    p99: h.p99().unwrap_or(0),
+                    max: h.max().unwrap_or(0),
+                },
+            );
+        }
+        for (k, h) in reg.walls() {
+            s.wall.insert(
+                k.to_string(),
+                WallSummary {
+                    spans: h.total(),
+                    total_ns: h.sum(),
+                    p50_ns: h.p50().unwrap_or(0),
+                    p90_ns: h.p90().unwrap_or(0),
+                    p99_ns: h.p99().unwrap_or(0),
+                    max_ns: h.max().unwrap_or(0),
+                },
+            );
+        }
+        s
+    }
+
+    /// Renders the snapshot as pretty-printed JSON, deterministic
+    /// sections first, keys in sorted order.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench_schema\": {},\n", self.schema));
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"deterministic\": {\n");
+        render_map(&mut out, "counters", &self.counters, 4, |v| v.to_string());
+        out.push_str(",\n");
+        render_map(&mut out, "gauges", &self.gauges, 4, |v| v.to_string());
+        out.push_str(",\n");
+        render_map(&mut out, "histograms", &self.histograms, 4, |h| {
+            format!(
+                "{{ \"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }}",
+                h.count, h.sum, h.p50, h.p90, h.p99, h.max
+            )
+        });
+        out.push_str("\n  },\n");
+        render_map(&mut out, "wall", &self.wall, 2, |w| {
+            format!(
+                "{{ \"spans\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {} }}",
+                w.spans, w.total_ns, w.p50_ns, w.p90_ns, w.p99_ns, w.max_ns
+            )
+        });
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a rendered snapshot.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON or a missing/mistyped
+    /// required field.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let v = Json::parse(text)?;
+        let top = v.as_obj().ok_or("snapshot is not a JSON object")?;
+        let schema = get_num(top, "bench_schema")? as u64;
+        let name = match top.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("missing string field \"name\"".into()),
+        };
+        let det = top
+            .get("deterministic")
+            .and_then(Json::as_obj)
+            .ok_or("missing object field \"deterministic\"")?;
+
+        let mut s = Snapshot {
+            schema,
+            name,
+            ..Snapshot::default()
+        };
+        if let Some(c) = det.get("counters").and_then(Json::as_obj) {
+            for (k, v) in c {
+                s.counters
+                    .insert(k.clone(), v.as_num().ok_or("counter is not a number")? as u64);
+            }
+        }
+        if let Some(g) = det.get("gauges").and_then(Json::as_obj) {
+            for (k, v) in g {
+                s.gauges
+                    .insert(k.clone(), v.as_num().ok_or("gauge is not a number")? as i64);
+            }
+        }
+        if let Some(hs) = det.get("histograms").and_then(Json::as_obj) {
+            for (k, v) in hs {
+                let o = v.as_obj().ok_or("histogram summary is not an object")?;
+                s.histograms.insert(
+                    k.clone(),
+                    HistSummary {
+                        count: get_num(o, "count")? as u64,
+                        sum: get_num(o, "sum")?,
+                        p50: get_num(o, "p50")? as i64,
+                        p90: get_num(o, "p90")? as i64,
+                        p99: get_num(o, "p99")? as i64,
+                        max: get_num(o, "max")? as i64,
+                    },
+                );
+            }
+        }
+        if let Some(ws) = top.get("wall").and_then(Json::as_obj) {
+            for (k, v) in ws {
+                let o = v.as_obj().ok_or("wall summary is not an object")?;
+                s.wall.insert(
+                    k.clone(),
+                    WallSummary {
+                        spans: get_num(o, "spans")? as u64,
+                        total_ns: get_num(o, "total_ns")?,
+                        p50_ns: get_num(o, "p50_ns")? as i64,
+                        p90_ns: get_num(o, "p90_ns")? as i64,
+                        p99_ns: get_num(o, "p99_ns")? as i64,
+                        max_ns: get_num(o, "max_ns")? as i64,
+                    },
+                );
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// Renders `name`'s registry as a snapshot document (the string written
+/// to `BENCH_<name>.json`).
+pub fn render_snapshot(name: &str, reg: &MetricsRegistry) -> String {
+    Snapshot::from_registry(name, reg).render()
+}
+
+/// The deterministic slice of a rendered snapshot: everything from the
+/// `"deterministic"` key up to (but excluding) the `"wall"` key. Two
+/// profiled runs of the same work at different `--threads` values must
+/// agree byte-for-byte on this slice; tests and `scripts/verify.sh`
+/// compare exactly this.
+pub fn deterministic_section(text: &str) -> Option<&str> {
+    let start = text.find("\"deterministic\"")?;
+    let end = text[start..].find("\"wall\"")? + start;
+    Some(&text[start..end])
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_map<V>(
+    out: &mut String,
+    key: &str,
+    map: &BTreeMap<String, V>,
+    indent: usize,
+    mut f: impl FnMut(&V) -> String,
+) {
+    let pad = " ".repeat(indent);
+    if map.is_empty() {
+        out.push_str(&format!("{pad}\"{key}\": {{}}"));
+        return;
+    }
+    out.push_str(&format!("{pad}\"{key}\": {{\n"));
+    let inner = " ".repeat(indent + 2);
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("{inner}\"{}\": {}", escape(k), f(v)));
+    }
+    out.push_str(&format!("\n{pad}}}"));
+}
+
+fn get_num(obj: &BTreeMap<String, Json>, key: &str) -> Result<i128, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field \"{key}\""))
+}
+
+/// A minimal JSON value: integers only (the snapshot schema emits no
+/// floats), objects as sorted maps.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(i128),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<i128> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected byte at {}", *pos)),
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        map.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut arr = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(arr));
+    }
+    loop {
+        arr.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Copy the full UTF-8 sequence starting here.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*pos..*pos + len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or_else(|| format!("bad UTF-8 at byte {}", *pos))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    // Reject float syntax explicitly: the schema is integer-only.
+    if matches!(b.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
+        return Err(format!("non-integer number at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<i128>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.add(phase::GRAPH_MINDIST_WORK, 1234);
+        reg.add(phase::SCHED_EVICTIONS, 5);
+        reg.set_gauge(phase::CORPUS_LOOPS, 60);
+        for v in [1, 1, 2, 3, 10] {
+            reg.observe(phase::HIST_SLOT_SEARCH, v);
+        }
+        reg.record_wall_ns(phase::WALL_SCHED, 1_000);
+        reg.record_wall_ns(phase::WALL_SCHED, 3_000);
+        reg
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let reg = sample_registry();
+        let text = render_snapshot("corpus", &reg);
+        let snap = Snapshot::parse(&text).expect("parses");
+        assert_eq!(snap.schema, SCHEMA_VERSION);
+        assert_eq!(snap.name, "corpus");
+        assert_eq!(snap.counters[phase::GRAPH_MINDIST_WORK], 1234);
+        assert_eq!(snap.gauges[phase::CORPUS_LOOPS], 60);
+        let h = snap.histograms[phase::HIST_SLOT_SEARCH];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 17);
+        assert_eq!(h.p50, 2);
+        assert_eq!(h.max, 10);
+        let w = snap.wall[phase::WALL_SCHED];
+        assert_eq!(w.spans, 2);
+        assert_eq!(w.total_ns, 4_000);
+        // Rendering the parsed snapshot reproduces the bytes exactly.
+        assert_eq!(snap.render(), text);
+    }
+
+    #[test]
+    fn deterministic_section_excludes_wall() {
+        let text = render_snapshot("x", &sample_registry());
+        let det = deterministic_section(&text).expect("section present");
+        assert!(det.contains(phase::GRAPH_MINDIST_WORK));
+        assert!(det.contains("histograms"));
+        assert!(!det.contains("total_ns"));
+        assert!(!det.contains("spans"));
+    }
+
+    #[test]
+    fn wall_differences_leave_the_deterministic_section_identical() {
+        let mut a = sample_registry();
+        let mut b = sample_registry();
+        a.record_wall_ns(phase::WALL_BUILD, 7);
+        b.record_wall_ns(phase::WALL_BUILD, 999_999);
+        let ta = render_snapshot("n", &a);
+        let tb = render_snapshot("n", &b);
+        assert_ne!(ta, tb);
+        assert_eq!(deterministic_section(&ta), deterministic_section(&tb));
+    }
+
+    #[test]
+    fn empty_registry_renders_and_parses() {
+        let text = render_snapshot("empty", &MetricsRegistry::new());
+        let snap = Snapshot::parse(&text).unwrap();
+        assert!(snap.counters.is_empty());
+        assert!(snap.wall.is_empty());
+        assert_eq!(snap.render(), text);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_with_messages() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"bench_schema\": 1}",
+            "{\"bench_schema\": 1.5, \"name\": \"x\", \"deterministic\": {}}",
+            "{\"bench_schema\": 1, \"name\": \"x\"}",
+            "not json at all",
+        ] {
+            let err = Snapshot::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a\n\"bA": [1, -2, {"c": true}, null, false]}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        let arr = match obj.get("a\n\"bA").unwrap() {
+            Json::Arr(a) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[0], Json::Num(1));
+        assert_eq!(arr[1], Json::Num(-2));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4], Json::Bool(false));
+    }
+}

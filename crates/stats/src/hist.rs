@@ -81,6 +81,62 @@ impl Histogram {
         self.counts.keys().next_back().copied()
     }
 
+    /// The `p`-th percentile of the observations by the nearest-rank
+    /// method: the smallest observed value whose cumulative count reaches
+    /// `⌈p/100 · total⌉` (so `percentile(0.0)` is the minimum and
+    /// `percentile(100.0)` the maximum). Returns `None` for an empty
+    /// histogram or a NaN `p`; out-of-range `p` values are clamped to
+    /// `[0, 100]`.
+    ///
+    /// ```
+    /// use ims_stats::Histogram;
+    ///
+    /// let h: Histogram = [1, 2, 3, 4, 10].into_iter().collect();
+    /// assert_eq!(h.percentile(50.0), Some(3));
+    /// assert_eq!(h.p99(), Some(10));
+    /// assert_eq!(Histogram::new().p50(), None);
+    /// ```
+    pub fn percentile(&self, p: f64) -> Option<i64> {
+        if self.total == 0 || p.is_nan() {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Nearest rank, 1-based; rank 1 is the minimum.
+        let rank = ((p / 100.0 * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (v, c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return Some(*v);
+            }
+        }
+        self.max() // unreachable: cumulative counts reach `total`
+    }
+
+    /// The median (50th percentile, nearest rank).
+    pub fn p50(&self) -> Option<i64> {
+        self.percentile(50.0)
+    }
+
+    /// The 90th percentile (nearest rank).
+    pub fn p90(&self) -> Option<i64> {
+        self.percentile(90.0)
+    }
+
+    /// The 99th percentile (nearest rank).
+    pub fn p99(&self) -> Option<i64> {
+        self.percentile(99.0)
+    }
+
+    /// Sum of all observations (`Σ value·count`), as an `i128` so large
+    /// per-phase work totals cannot overflow.
+    pub fn sum(&self) -> i128 {
+        self.counts
+            .iter()
+            .map(|(v, c)| *v as i128 * *c as i128)
+            .sum()
+    }
+
     /// Iterates over `(value, count)` pairs in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
         self.counts.iter().map(|(v, c)| (*v, *c))
@@ -164,6 +220,59 @@ mod tests {
         h.extend([1, 1]);
         h.extend([2]);
         assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn percentiles_on_empty_histogram_are_none() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn percentiles_on_a_single_bucket_return_that_value() {
+        let mut h = Histogram::new();
+        for _ in 0..7 {
+            h.add(42);
+        }
+        for p in [0.0, 1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(42), "p{p}");
+        }
+        assert_eq!(h.sum(), 7 * 42);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank_on_known_data() {
+        // 1..=10, one observation each: p50 is rank ceil(0.5·10)=5 → 5,
+        // p90 rank 9 → 9, p99 rank ceil(9.9)=10 → 10.
+        let h: Histogram = (1..=10).collect();
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.p90(), Some(9));
+        assert_eq!(h.p99(), Some(10));
+        assert_eq!(h.percentile(0.0), Some(1), "p0 is the minimum");
+        assert_eq!(h.percentile(100.0), Some(10), "p100 is the maximum");
+        // Out-of-range and NaN inputs.
+        assert_eq!(h.percentile(-5.0), Some(1));
+        assert_eq!(h.percentile(250.0), Some(10));
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentiles_of_a_merged_histogram_match_the_pooled_data() {
+        let mut a: Histogram = [1, 1, 2].into_iter().collect();
+        let b: Histogram = [3, 3, 3, 100].into_iter().collect();
+        a.merge(&b);
+        // Pooled: [1,1,2,3,3,3,100] — rank(p50)=4 → 3, rank(p99)=7 → 100.
+        let pooled: Histogram = [1, 1, 2, 3, 3, 3, 100].into_iter().collect();
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), pooled.percentile(p), "p{p}");
+        }
+        assert_eq!(a.p50(), Some(3));
+        assert_eq!(a.p99(), Some(100));
+        assert_eq!(a.sum(), pooled.sum());
     }
 
     #[test]

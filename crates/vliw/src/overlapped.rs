@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use ims_core::{Problem, Schedule};
 use ims_deps::{node_of, resolve_use};
 use ims_ir::{eval, LoopBody, OpId, Opcode, Operand, Value};
+use ims_prof::{phase, ProfSink};
 
 use crate::error::SimError;
 use crate::memory::MemoryImage;
@@ -190,6 +191,32 @@ pub fn run_overlapped(
         final_regs,
         cycles: (last_cycle + 1) as u64,
     })
+}
+
+/// [`run_overlapped`] + `vliw.sim.*` counters: on success one
+/// [`phase::VLIW_SIM_LOOPS`] and the executed [`phase::VLIW_SIM_CYCLES`];
+/// on error one [`phase::VLIW_SIM_ERRORS`]. With a `NullSink` this is
+/// exactly [`run_overlapped`].
+///
+/// # Errors
+///
+/// As [`run_overlapped`].
+pub fn run_overlapped_profiled<P: ProfSink>(
+    body: &LoopBody,
+    problem: &Problem<'_>,
+    schedule: &Schedule,
+    memory: MemoryImage,
+    prof: &mut P,
+) -> Result<ExecResult, SimError> {
+    let result = run_overlapped(body, problem, schedule, memory);
+    match &result {
+        Ok(exec) => {
+            prof.count(phase::VLIW_SIM_LOOPS, 1);
+            prof.count(phase::VLIW_SIM_CYCLES, exec.cycles);
+        }
+        Err(_) => prof.count(phase::VLIW_SIM_ERRORS, 1),
+    }
+    result
 }
 
 #[cfg(test)]

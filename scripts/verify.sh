@@ -4,6 +4,9 @@
 #
 # The workspace has no external dependencies — a bare Rust toolchain and an
 # empty registry cache are enough for every step below to succeed.
+#
+# Profiling artifacts (BENCH_*.json snapshots and per-loop trace
+# directories) are left under target/bench/ so CI can upload them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,15 +16,21 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> corpus determinism across thread counts"
+bench_dir=target/bench
+rm -rf "$bench_dir"
+mkdir -p "$bench_dir"
+
+echo "==> corpus determinism across thread counts (with --profile)"
 t1_log=$(mktemp)
 t4_log=$(mktemp)
 doc_log=$(mktemp)
 trap 'rm -f "$t1_log" "$t4_log" "$doc_log"' EXIT
 cargo run --release --offline -q -p ims-bench --bin corpus -- \
-    --loops 120 --threads 1 >"$t1_log" 2>/dev/null
+    --loops 120 --threads 1 --profile "$bench_dir/BENCH_corpus_t1.json" \
+    >"$t1_log" 2>/dev/null
 cargo run --release --offline -q -p ims-bench --bin corpus -- \
-    --loops 120 --threads 4 >"$t4_log" 2>/dev/null
+    --loops 120 --threads 4 --profile "$bench_dir/BENCH_corpus_t4.json" \
+    >"$t4_log" 2>/dev/null
 if ! diff -q "$t1_log" "$t4_log" >/dev/null; then
     echo "FAIL: corpus output differs between --threads 1 and --threads 4" >&2
     diff "$t1_log" "$t4_log" | head >&2
@@ -29,25 +38,52 @@ if ! diff -q "$t1_log" "$t4_log" >/dev/null; then
 fi
 echo "    byte-identical at --threads 1 and --threads 4 (120 loops)"
 
-echo "==> optgap determinism across thread counts"
+echo "==> profile snapshot determinism and benchdiff gates"
+# Deterministic sections must be identical across thread counts; the wall
+# section is expected to differ and is excluded.
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_corpus_t1.json" "$bench_dir/BENCH_corpus_t4.json" \
+    --strict-counters --no-wall
+# A snapshot always passes a self-compare, wall section included.
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_corpus_t4.json" "$bench_dir/BENCH_corpus_t4.json"
+# The perf-regression gate: deterministic work must match the committed
+# baseline exactly; wall time gets generous headroom (different machines).
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    BENCH_baseline.json "$bench_dir/BENCH_corpus_t4.json" \
+    --strict-counters --wall-threshold 25
+cargo run --release --offline -q -p ims-bench --bin profile_report -- \
+    "$bench_dir/BENCH_corpus_t4.json" >/dev/null
+echo "    deterministic sections thread-invariant; baseline gate and report OK"
+
+echo "==> optgap determinism across thread counts (with --profile/--trace)"
 og1_log=$(mktemp)
 og4_log=$(mktemp)
 trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log"' EXIT
 cargo run --release --offline -q -p ims-bench --bin optgap -- \
-    --loops 240 --threads 1 >"$og1_log" 2>/dev/null
+    --loops 240 --threads 1 --profile "$bench_dir/BENCH_optgap_t1.json" \
+    --trace "$bench_dir/trace_optgap_t1" >"$og1_log" 2>/dev/null
 cargo run --release --offline -q -p ims-bench --bin optgap -- \
-    --loops 240 --threads 4 >"$og4_log" 2>/dev/null
+    --loops 240 --threads 4 --profile "$bench_dir/BENCH_optgap_t4.json" \
+    --trace "$bench_dir/trace_optgap_t4" >"$og4_log" 2>/dev/null
 if ! diff -q "$og1_log" "$og4_log" >/dev/null; then
     echo "FAIL: optgap output differs between --threads 1 and --threads 4" >&2
     diff "$og1_log" "$og4_log" | head >&2
     exit 1
 fi
+if ! diff -r -q "$bench_dir/trace_optgap_t1" "$bench_dir/trace_optgap_t4" >/dev/null; then
+    echo "FAIL: optgap --trace output differs between --threads 1 and --threads 4" >&2
+    diff -r "$bench_dir/trace_optgap_t1" "$bench_dir/trace_optgap_t4" | head >&2
+    exit 1
+fi
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_optgap_t1.json" "$bench_dir/BENCH_optgap_t4.json" \
+    --strict-counters --no-wall
 echo "    byte-identical at --threads 1 and --threads 4 (240 loops, exact + 4 budgets)"
 
 echo "==> trace determinism across thread counts"
-tr1_dir=$(mktemp -d)
-tr4_dir=$(mktemp -d)
-trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log"; rm -rf "$tr1_dir" "$tr4_dir"' EXIT
+tr1_dir="$bench_dir/trace_corpus_t1"
+tr4_dir="$bench_dir/trace_corpus_t4"
 cargo run --release --offline -q -p ims-bench --bin corpus -- \
     --loops 60 --threads 1 --trace "$tr1_dir" >/dev/null 2>/dev/null
 cargo run --release --offline -q -p ims-bench --bin corpus -- \
@@ -70,4 +106,4 @@ if grep -q "^warning" "$doc_log"; then
     exit 1
 fi
 
-echo "OK: build, tests, and docs all clean offline"
+echo "OK: build, tests, determinism, profiling gates, and docs all clean offline"

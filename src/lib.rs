@@ -18,6 +18,8 @@
 //! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
 //! * a benchmark-loop corpus generator ([`loopgen`]),
 //! * the statistics toolkit used by the evaluation harness ([`stats`]),
+//! * the pipeline-wide phase profiler — metrics registry, wall-clock
+//!   spans, `BENCH_*.json` snapshots and their diff engine ([`prof`]),
 //! * event-level scheduler observability — JSON-lines traces, replay,
 //!   convergence reports ([`mod@trace`]), and
 //! * the corpus measurement harness with its parallel scheduling driver
@@ -56,6 +58,7 @@ pub use ims_graph as graph;
 pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
 pub use ims_machine as machine;
+pub use ims_prof as prof;
 pub use ims_stats as stats;
 pub use ims_trace as trace;
 pub use ims_vliw as vliw;

@@ -532,7 +532,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
                     let free = info
                         .alternatives
                         .iter()
-                        .position(|a| !mrt.conflicts(&a.table, cur));
+                        .position(|a| !mrt.conflicts(a.mask(), cur));
                     if free.is_some() {
                         found = Some(cur);
                     } else {
@@ -562,7 +562,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
             let free = info
                 .alternatives
                 .iter()
-                .position(|a| !mrt.conflicts(&a.table, slot));
+                .position(|a| !mrt.conflicts(a.mask(), slot));
             let chosen = match free {
                 Some(ai) => ai,
                 None => {
@@ -570,7 +570,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
                     // "all operations are unscheduled which conflict with
                     // the use of any of the alternatives".
                     for a in &info.alternatives {
-                        mrt.conflicting_nodes_into(&a.table, slot, &mut victims);
+                        mrt.conflicting_nodes_into(a.mask(), slot, &mut victims);
                         for &victim in &victims {
                             unschedule(
                                 problem,
@@ -590,7 +590,7 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
                     0
                 }
             };
-            mrt.place(node, &info.alternatives[chosen].table, slot);
+            mrt.place(node, info.alternatives[chosen].mask(), slot);
             alternative[node.index()] = chosen;
             real_steps += 1;
             budget -= 1;
@@ -661,7 +661,7 @@ fn unschedule<O: SchedObserver>(
         .take()
         .expect("only scheduled operations are displaced");
     if let Some(info) = problem.info(victim) {
-        mrt.remove(victim, &info.alternatives[alternative[victim.index()]].table, t);
+        mrt.remove(victim, info.alternatives[alternative[victim.index()]].mask(), t);
     }
     *unscheduled += 1;
     // Reinsert into the priority worklist so the displaced operation

@@ -68,7 +68,7 @@ struct MemoKey {
     /// Times of the scheduled operations still MinDist-related to some
     /// unscheduled operation, in scheduling order.
     times: Box<[i64]>,
-    /// MRT occupancy bitmask (slot → reserved?).
+    /// MRT occupancy bitset (a copy of [`Mrt::occupancy_words`]).
     occ: Box<[u64]>,
 }
 
@@ -89,12 +89,11 @@ struct Dfs<'a, 'm> {
     /// related to an unscheduled one — the memo key's time vector.
     relevant: &'a [Vec<usize>],
     ii: i64,
-    nres: usize,
     start: NodeId,
+    /// The MRT maintains its own occupancy bitset; memo keys copy it via
+    /// [`Mrt::occupancy_words`], and probes AND the machine's precompiled
+    /// conflict masks against it.
     mrt: Mrt,
-    /// MRT occupancy as a bitset, maintained alongside `mrt` so memo keys
-    /// need no per-slot queries.
-    occ: Vec<u64>,
     time: Vec<i64>,
     alt: Vec<usize>,
     nodes: u64,
@@ -178,7 +177,7 @@ impl Dfs<'_, '_> {
                 .iter()
                 .map(|&p| self.time[self.order[p].index()])
                 .collect(),
-            occ: self.occ.clone().into_boxed_slice(),
+            occ: self.mrt.occupancy_words().into(),
         }
     }
 
@@ -193,24 +192,16 @@ impl Dfs<'_, '_> {
 
     fn place(&mut self, v: NodeId, ai: usize, t: i64) {
         let problem = self.problem;
-        let table = &problem.info(v).expect("order holds real operations").alternatives[ai].table;
-        self.mrt.place(v, table, t);
-        for &(r, off) in table.uses() {
-            let slot = (t + off as i64).rem_euclid(self.ii) as usize * self.nres + r.index();
-            self.occ[slot / 64] |= 1 << (slot % 64);
-        }
+        let mask = problem.info(v).expect("order holds real operations").alternatives[ai].mask();
+        self.mrt.place(v, mask, t);
         self.time[v.index()] = t;
         self.alt[v.index()] = ai;
     }
 
     fn unplace(&mut self, v: NodeId, ai: usize, t: i64) {
         let problem = self.problem;
-        let table = &problem.info(v).expect("order holds real operations").alternatives[ai].table;
-        self.mrt.remove(v, table, t);
-        for &(r, off) in table.uses() {
-            let slot = (t + off as i64).rem_euclid(self.ii) as usize * self.nres + r.index();
-            self.occ[slot / 64] &= !(1 << (slot % 64));
-        }
+        let mask = problem.info(v).expect("order holds real operations").alternatives[ai].mask();
+        self.mrt.remove(v, mask, t);
     }
 
     /// `Some(true)`: schedule found (placements left in `time`/`alt`).
@@ -237,9 +228,9 @@ impl Dfs<'_, '_> {
             .len();
         for t in lo..=hi {
             for ai in 0..n_alts {
-                let table =
-                    &self.problem.info(v).expect("real operation").alternatives[ai].table;
-                if self.mrt.conflicts(table, t) {
+                let mask =
+                    self.problem.info(v).expect("real operation").alternatives[ai].mask();
+                if self.mrt.conflicts(mask, t) {
                     self.prune_mrt += 1;
                     continue;
                 }
@@ -339,7 +330,6 @@ pub(crate) fn search_ii<P: ProfSink>(
     }
 
     let nres = problem.machine().num_resources();
-    let occ_words = ((ii as usize) * nres).div_ceil(64).max(1);
     let mut dfs = Dfs {
         problem,
         md: &md,
@@ -347,10 +337,8 @@ pub(crate) fn search_ii<P: ProfSink>(
         first_members: &first_members,
         relevant: &relevant,
         ii,
-        nres,
         start,
         mrt: Mrt::new(ii, nres),
-        occ: vec![0u64; occ_words],
         time: vec![0i64; graph.num_nodes()],
         alt: vec![0usize; graph.num_nodes()],
         nodes: 0,

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Machine models with reservation tables for modulo scheduling.
 //!
@@ -18,6 +18,10 @@
 //!
 //! * the [`ReservationTable`] / [`Alternative`] / [`MachineModel`] types and
 //!   a [`MachineBuilder`];
+//! * the word-parallel [`ConflictMask`] representation every alternative
+//!   is compiled into at machine construction: per-cycle-offset resource
+//!   bitmasks that turn a modulo-reservation-table probe into a handful
+//!   of `u64` ANDs (the FindTimeSlot hot path; see `DESIGN.md` §5d);
 //! * [`cydra`], a Cydra-5-like machine reproducing the paper's Table 2
 //!   (two memory ports with 20-cycle loads, two address ALUs, one adder, one
 //!   multiplier that also executes the 22-cycle divide and 26-cycle square
@@ -49,9 +53,11 @@
 //! ```
 
 mod cydra;
+mod mask;
 mod model;
 mod reservation;
 
 pub use cydra::{cydra, cydra_simple, figure1_machine, minimal, single_alu, wide};
+pub use mask::{ConflictMask, MaskEntry};
 pub use model::{Alternative, MachineBuilder, MachineModel, OpcodeInfo, Resource, ResourceId};
 pub use reservation::{ReservationTable, TableClass};

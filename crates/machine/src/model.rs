@@ -5,6 +5,7 @@ use std::fmt;
 
 use ims_ir::Opcode;
 
+use crate::mask::ConflictMask;
 use crate::reservation::ReservationTable;
 
 /// Identifier of a machine resource (a pipeline stage of a functional unit,
@@ -43,6 +44,20 @@ pub struct Alternative {
     pub fu: String,
     /// The resource usage pattern of this alternative.
     pub table: ReservationTable,
+    /// `table` compiled to word-parallel row masks against this
+    /// machine's resource axis (built once by [`MachineBuilder::build`]).
+    mask: ConflictMask,
+}
+
+impl Alternative {
+    /// The compiled conflict mask of [`table`](Alternative::table): the
+    /// word-parallel representation every modulo-reservation-table probe,
+    /// install, and evict uses (see [`ConflictMask`] and `DESIGN.md`
+    /// §5d).
+    #[inline]
+    pub fn mask(&self) -> &ConflictMask {
+        &self.mask
+    }
 }
 
 /// Scheduling-relevant information about one opcode.
@@ -165,7 +180,10 @@ impl MachineModel {
 pub struct MachineBuilder {
     name: String,
     resources: Vec<Resource>,
-    info: BTreeMap<Opcode, OpcodeInfo>,
+    /// Raw `(latency, (fu, table) list)` per opcode; conflict masks are
+    /// compiled in [`MachineBuilder::build`], once the final resource
+    /// count is known.
+    ops: BTreeMap<Opcode, (u32, Vec<(String, ReservationTable)>)>,
 }
 
 impl MachineBuilder {
@@ -174,7 +192,7 @@ impl MachineBuilder {
         MachineBuilder {
             name: name.into(),
             resources: Vec::new(),
-            info: BTreeMap::new(),
+            ops: BTreeMap::new(),
         }
     }
 
@@ -233,25 +251,33 @@ impl MachineBuilder {
                 );
             }
         }
-        self.info.insert(
-            opcode,
-            OpcodeInfo {
-                latency,
-                alternatives: alternatives
-                    .into_iter()
-                    .map(|(fu, table)| Alternative { fu, table })
-                    .collect(),
-            },
-        );
+        self.ops.insert(opcode, (latency, alternatives));
         self
     }
 
-    /// Finishes the build.
+    /// Finishes the build, compiling every alternative's reservation
+    /// table into its word-parallel [`ConflictMask`] against the final
+    /// resource count.
     pub fn build(self) -> MachineModel {
+        let nres = self.resources.len();
+        let info = self
+            .ops
+            .into_iter()
+            .map(|(opcode, (latency, alternatives))| {
+                let alternatives = alternatives
+                    .into_iter()
+                    .map(|(fu, table)| {
+                        let mask = ConflictMask::compile(&table, nres);
+                        Alternative { fu, table, mask }
+                    })
+                    .collect();
+                (opcode, OpcodeInfo { latency, alternatives })
+            })
+            .collect();
         MachineModel {
             name: self.name,
             resources: self.resources,
-            info: self.info,
+            info,
         }
     }
 }
@@ -308,6 +334,22 @@ mod tests {
         let mut b = MachineBuilder::new("t");
         let alu = b.resource("alu");
         b.op(Opcode::Add, 0, vec![("alu", ReservationTable::simple(alu))]);
+    }
+
+    #[test]
+    fn build_compiles_masks_against_the_final_resource_count() {
+        // Resources declared *after* an opcode's definition still shape
+        // its mask: compilation happens in build(), not in op().
+        let mut b = MachineBuilder::new("late");
+        let alu = b.resource("alu");
+        b.op(Opcode::Add, 1, vec![("alu", ReservationTable::simple(alu))]);
+        let _late = b.resource("late");
+        let m = b.build();
+        let alt = &m.info(Opcode::Add).alternatives[0];
+        assert_eq!(alt.mask().words_per_row(), 1);
+        assert_eq!(alt.mask().footprint(), alt.table.footprint());
+        assert_eq!(alt.mask().entries().len(), 1);
+        assert_eq!(alt.mask().entries()[0].mask, 0b1);
     }
 
     #[test]

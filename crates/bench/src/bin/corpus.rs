@@ -34,7 +34,7 @@
 //! varies. Compare snapshots with `benchdiff`, render them with
 //! `profile_report`.
 
-use ims_bench::pool::{default_threads, parse_threads};
+use ims_bench::pool::threads_or_exit;
 use ims_bench::profile::{measure_corpus_profiled, parse_profile_path, write_profile};
 use ims_bench::{
     corpus_jsonl_opts, measure_corpus_backend, measure_corpus_traced, node_budget_for_ms,
@@ -68,7 +68,7 @@ fn main() {
     let deadline_ms: u64 = flag(&args, "--deadline-ms", 5000);
     let backend_name: String = flag(&args, "--backend", "ims".to_string());
     let with_wall = args.iter().any(|a| a == "--wall");
-    let threads = parse_threads(&args).unwrap_or_else(default_threads);
+    let threads = threads_or_exit(&args);
     let trace_dir = parse_trace_dir(&args);
     let profile_path = parse_profile_path(&args);
 

@@ -98,7 +98,7 @@ fn main() {
     let seed: u64 = flag(&args, "--seed", 0xC4D5);
     let loops: usize = flag(&args, "--loops", 300);
     let deadline_ms: u64 = flag(&args, "--deadline-ms", 5000);
-    let threads = pool::parse_threads(&args).unwrap_or_else(pool::default_threads);
+    let threads = pool::threads_or_exit(&args);
     let with_wall = args.iter().any(|a| a == "--wall");
     let trace_dir = parse_trace_dir(&args);
     let profile_path = parse_profile_path(&args);

@@ -49,8 +49,12 @@ use ims_machine::MachineModel;
 use ims_trace::TraceWriter;
 
 pub mod micro;
-pub mod pool;
 pub mod profile;
+
+/// The deterministic worker pool now lives in `ims-serve` (the scheduling
+/// service shares it with the harness); re-exported here so the bench
+/// binaries and downstream users keep their `ims_bench::pool` paths.
+pub use ims_serve::pool;
 
 /// Deterministic stand-in for a wall-clock deadline in the harness
 /// paths: `--deadline-ms N` is converted to a branch-and-bound node

@@ -157,6 +157,37 @@ fn benchdiff_wall_regressions_respect_threshold_and_no_wall() {
 }
 
 #[test]
+fn drivers_reject_malformed_threads_values() {
+    // A malformed `--threads` must be a hard error (exit 2 + usage), not
+    // a silent fallback to the core count: a silently single-threaded
+    // bench run skews wall numbers without failing anything. `corpus`
+    // parses argv explicitly, `table3` goes through `threads_from_args`;
+    // both funnel into the same strict parser.
+    for bin in [env!("CARGO_BIN_EXE_corpus"), env!("CARGO_BIN_EXE_table3")] {
+        for args in [
+            &["--threads", "abc"][..],
+            &["--threads=1.5"][..],
+            &["--threads", "0"][..],
+            &["--threads"][..], // value missing entirely
+        ] {
+            let out = run(bin, args);
+            assert_eq!(code(&out), 2, "{bin} {args:?}");
+            let err = stderr(&out);
+            assert!(err.contains("usage:"), "{bin} {args:?} -> {err}");
+            assert!(err.contains("--threads"), "{bin} {args:?} -> {err}");
+            assert!(out.stdout.is_empty(), "no partial output on a bad flag");
+        }
+    }
+}
+
+#[test]
+fn corpus_accepts_wellformed_threads() {
+    let out = run(env!("CARGO_BIN_EXE_corpus"), &["--threads", "2", "--loops", "1"]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
 fn profile_report_renders_and_rejects_bad_input() {
     let dir = scratch("report");
     let snap = write_snapshot(&dir, "snap.json", &registry(1000, 10_000_000));

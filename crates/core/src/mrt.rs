@@ -85,15 +85,19 @@ pub struct Mrt {
     /// division, not the resource walk, dominates a short probe. Offsets
     /// beyond the cache (none in the bundled machines) fall back to `%`.
     off_rows: Box<[u16]>,
-    /// `(time, time mod II)` of the most recent probe. FindTimeSlot walks
-    /// candidate times in unit steps and tries every alternative at each
-    /// one, so the previous probe's row reduction is almost always
+    /// `(time, time mod II)` of the most recent probe, or `None` when no
+    /// probe has run since construction or [`Mrt::clear`]. FindTimeSlot
+    /// walks candidate times in unit steps and tries every alternative at
+    /// each one, so the previous probe's row reduction is almost always
     /// reusable (same time, or time + 1) — the hit turns the base-row
     /// `rem_euclid` into an add-and-wrap and leaves most probes entirely
-    /// division-free. A pure function of the probe time, so caching it
-    /// cannot change any answer; a `Cell` for the same reason as
-    /// `probes`.
-    base_cache: Cell<(i64, usize)>,
+    /// division-free. A pure function of the probe time *for a fixed II*,
+    /// so caching it cannot change any answer — but only because the
+    /// sentinel is explicitly out of domain: an in-domain placeholder such
+    /// as `(0, 0)` would be silently trusted for `time == 0` after a
+    /// clear/resize changed the II out from under it. A `Cell` for the
+    /// same reason as `probes`.
+    base_cache: Cell<Option<(i64, usize)>>,
 }
 
 /// Cycle offsets `0..=OFF_CACHE` have their `mod II` reduction
@@ -132,8 +136,38 @@ impl Mrt {
             slots: vec![None; (ii as usize) * num_resources],
             probes: Cell::new(0),
             off_rows: (0..=OFF_CACHE).map(|o| (o as i64 % ii) as u16).collect(),
-            base_cache: Cell::new((0, 0)),
+            base_cache: Cell::new(None),
         }
+    }
+
+    /// Empties the table in place for reuse at the same II: zeroes the
+    /// occupancy bitset (both mirror halves) and the owner array, and
+    /// invalidates the probe-time base cache. The probe odometer is *not*
+    /// reset — it counts work performed over the table's lifetime, and
+    /// clearing is not a probe.
+    pub fn clear(&mut self) {
+        self.occ.fill(0);
+        self.slots.fill(None);
+        self.base_cache.set(None);
+    }
+
+    /// Resizes the table to a new II, dropping every reservation and
+    /// invalidating the probe-time base cache (whose cached reduction was
+    /// taken modulo the *old* II). Resource count and the probe odometer
+    /// are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii < 1`.
+    pub fn resize(&mut self, ii: i64) {
+        assert!(ii >= 1, "II must be at least 1");
+        self.ii = ii;
+        self.occ.clear();
+        self.occ.resize(2 * (ii as usize) * self.wpr, 0);
+        self.slots.clear();
+        self.slots.resize((ii as usize) * self.nres, None);
+        self.off_rows = (0..=OFF_CACHE).map(|o| (o as i64 % ii) as u16).collect();
+        self.base_cache.set(None);
     }
 
     /// Total probe work performed so far (see the `probes` field): one unit
@@ -169,20 +203,19 @@ impl Mrt {
     /// its successor.
     #[inline]
     fn base_row(&self, time: i64) -> usize {
-        let (t0, b0) = self.base_cache.get();
-        let base = if time == t0 {
-            return b0;
-        } else if time == t0.wrapping_add(1) {
-            let b = b0 + 1;
-            if b == self.ii as usize {
-                0
-            } else {
-                b
+        let base = match self.base_cache.get() {
+            Some((t0, b0)) if time == t0 => return b0,
+            Some((t0, b0)) if time == t0.wrapping_add(1) => {
+                let b = b0 + 1;
+                if b == self.ii as usize {
+                    0
+                } else {
+                    b
+                }
             }
-        } else {
-            time.rem_euclid(self.ii) as usize
+            _ => time.rem_euclid(self.ii) as usize,
         };
-        self.base_cache.set((time, base));
+        self.base_cache.set(Some((time, base)));
         base
     }
 
@@ -523,6 +556,64 @@ mod tests {
                 assert_eq!(mrt.conflicts(&mask(s), t), mrt.conflicts_scan(&table(s), t));
             }
         }
+    }
+
+    #[test]
+    fn clear_empties_the_table_and_keeps_the_odometer() {
+        let mut mrt = Mrt::new(3, NRES);
+        let t = mask(&[(0, 0), (1, 1)]);
+        mrt.place(NodeId(1), &t, 1);
+        assert!(mrt.conflicts(&t, 4));
+        let spent = mrt.probes();
+        assert!(spent > 0);
+        mrt.clear();
+        assert!(mrt.occupancy_words().iter().all(|&w| w == 0));
+        for time in -3..6 {
+            assert!(!mrt.conflicts(&t, time), "stale reservation at {time}");
+        }
+        assert_eq!(mrt.occupant(1, 0), None);
+        // Clearing is not a probe; the lifetime odometer keeps counting.
+        assert!(mrt.probes() > spent);
+        // The cleared table is reusable.
+        mrt.place(NodeId(2), &t, 2);
+        assert!(mrt.conflicts(&t, 5));
+    }
+
+    #[test]
+    fn resize_invalidates_the_cached_base_row() {
+        let mut mrt = Mrt::new(3, 1);
+        let t = ConflictMask::compile(&table(&[(0, 0)]), 1);
+        // Warm the base cache with a reduction taken modulo the old II:
+        // time 4 → row 1 at II 3, but row 4 at II 5.
+        assert!(!mrt.conflicts(&t, 4));
+        mrt.resize(5);
+        assert_eq!(mrt.ii(), 5);
+        assert_eq!(mrt.occupancy_words().len(), 5);
+        // A stale cached (4, 1) would route this placement to row 1; the
+        // owner array (indexed by a fresh division) proves it landed in
+        // row 4.
+        mrt.place(NodeId(1), &t, 4);
+        assert_eq!(mrt.occupant(4, 0), Some(NodeId(1)));
+        assert_eq!(mrt.occupant(1, 0), None);
+        assert!(mrt.conflicts(&t, 9)); // 9 ≡ 4 (mod 5)
+        assert!(!mrt.conflicts(&t, 1));
+    }
+
+    #[test]
+    fn clear_then_increment_probe_does_not_reuse_a_stale_base() {
+        // The increment-and-wrap fast path must not fire off a cleared
+        // cache: probe time 2 (caches (2, 2) at II 3), clear, then probe
+        // time 3 — a trusted stale entry would take the +1 path; either
+        // way the answer must come out as a fresh reduction.
+        let mut mrt = Mrt::new(3, 1);
+        let t = ConflictMask::compile(&table(&[(0, 0)]), 1);
+        assert!(!mrt.conflicts(&t, 2));
+        mrt.clear();
+        mrt.place(NodeId(1), &t, 3); // row 0
+        assert_eq!(mrt.occupant(0, 0), Some(NodeId(1)));
+        assert!(mrt.conflicts(&t, 0));
+        assert!(mrt.conflicts(&t, 3));
+        assert!(!mrt.conflicts(&t, 1));
     }
 
     #[test]

@@ -247,7 +247,9 @@ fn gen_mrt_script(g: &mut Gen) -> MrtScript {
         (
             g.usize_in(0, ntables),
             g.i64_in(-10, 31),
-            g.u32_in(0, 3) as u8, // 0: probe only, 1: place if free, 2: evict conflicts
+            // 0: probe only, 1: place if free, 2: evict conflicts,
+            // 3: clear the whole table (tests base-cache invalidation).
+            g.u32_in(0, 4) as u8,
         )
     });
     (ii, nres, tables, script)
@@ -329,6 +331,16 @@ fn bitset_mrt_agrees_with_reference_scan() {
                             mrt.remove(n, &masks[vti], vt);
                             oracle.remove(n, &tabs[vti], vt);
                         }
+                    }
+                    3 => {
+                        // Wipe the table mid-script. The probes that warmed
+                        // the base cache just above make this the stale-base
+                        // trap: a clear that failed to invalidate it would
+                        // desynchronize the next probe from the oracle
+                        // (which recomputes every reduction from scratch).
+                        mrt.clear();
+                        oracle = RefMrt::new(ii, nres);
+                        placed.clear();
                     }
                     _ => {}
                 }

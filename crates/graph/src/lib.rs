@@ -20,6 +20,9 @@
 //!   all-pairs longest-path matrix over edge weights `delay − II·distance`.
 //!   *"If `MinDist[i,i]` is positive for any `i` … the II is too small"*;
 //!   the smallest II with no positive diagonal entry is the RecMII.
+//! * **Canonicalization** ([`canonical_form`]): an isomorphism-stable node
+//!   ordering and byte encoding of a labeled dependence graph, used to
+//!   content-address schedule-cache entries and dedup generated corpora.
 //!
 //! # Examples
 //!
@@ -41,11 +44,13 @@
 //! assert!(compute_min_dist(&g, &nodes, 3, &mut work).feasible());
 //! ```
 
+pub mod canon;
 mod circuits;
 mod graph;
 mod mindist;
 mod scc;
 
+pub use canon::{canonical_form, canonical_key, CanonicalForm};
 pub use circuits::{elementary_circuits, Circuit};
 pub use graph::{DepEdge, DepGraph, DepKind, EdgeId, NodeId};
 pub use mindist::{compute_min_dist, MinDist, MinDistSolver, NEG_INF};

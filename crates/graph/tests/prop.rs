@@ -1,7 +1,10 @@
 //! Property tests for the graph algorithms, on the in-repo
 //! [`ims_testkit::prop`] harness.
 
-use ims_graph::{compute_min_dist, elementary_circuits, sccs, DepGraph, DepKind, NodeId, NEG_INF};
+use ims_graph::{
+    canonical_form, canonical_key, compute_min_dist, elementary_circuits, sccs, DepGraph, DepKind,
+    NodeId, NEG_INF,
+};
 use ims_testkit::{check, prop_assert, prop_assert_eq, prop_assume, Gen, PropConfig};
 
 /// Generates a random small dependence graph: node count plus edge list.
@@ -153,6 +156,152 @@ fn min_dist_is_max_plus_transitive() {
                     }
                 }
             }
+            Ok(())
+        },
+    );
+}
+
+/// A random labeled graph (mixed edge kinds) plus a random permutation of
+/// its nodes, for canonicalization invariance testing.
+fn gen_labeled_graph_and_perm(g: &mut Gen) -> (DepGraph, Vec<u64>, Vec<usize>) {
+    let n = g.usize_in(1, 9);
+    let edges = g.vec_with(16, |g| {
+        (
+            g.usize_in(0, n),
+            g.usize_in(0, n),
+            g.i64_in(0, 6),
+            g.u32_in(0, 3),
+            g.u32_in(0, 4),
+            g.bool(),
+        )
+    });
+    let kinds = [DepKind::Flow, DepKind::Anti, DepKind::Output, DepKind::Control];
+    let mut graph = DepGraph::with_nodes(n);
+    for (from, to, delay, distance, kind, is_mem) in edges {
+        graph.add_edge(
+            NodeId(from as u32),
+            NodeId(to as u32),
+            delay,
+            distance,
+            kinds[kind as usize],
+            is_mem,
+        );
+    }
+    // Few distinct labels so color classes are large enough to exercise
+    // the individualization branch, not just refinement.
+    let labels: Vec<u64> = (0..n).map(|_| g.u32_in(0, 3) as u64).collect();
+    // Fisher–Yates permutation of 0..n.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = g.usize_in(0, i + 1);
+        perm.swap(i, j);
+    }
+    (graph, labels, perm)
+}
+
+/// Rebuilds `g` with node `v` renamed to `perm[v]` and edges in a
+/// perm-dependent order.
+fn relabel(g: &DepGraph, labels: &[u64], perm: &[usize]) -> (DepGraph, Vec<u64>) {
+    let n = g.num_nodes();
+    let mut h = DepGraph::with_nodes(n);
+    let mut new_labels = vec![0u64; n];
+    for v in 0..n {
+        new_labels[perm[v]] = labels[v];
+    }
+    // Insert edges in an order keyed by the *new* endpoint ids so edge
+    // insertion order cannot leak into the canonical form.
+    let mut edges: Vec<_> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            (
+                perm[e.from.index()],
+                perm[e.to.index()],
+                e.delay,
+                e.distance,
+                e.kind,
+                e.is_mem,
+            )
+        })
+        .collect();
+    edges.sort_by_key(|e| (e.0, e.1, e.2, e.3));
+    for (from, to, delay, distance, kind, is_mem) in edges {
+        h.add_edge(NodeId(from as u32), NodeId(to as u32), delay, distance, kind, is_mem);
+    }
+    (h, new_labels)
+}
+
+#[test]
+fn canonical_key_is_isomorphism_invariant() {
+    check(
+        "canonical_key_is_isomorphism_invariant",
+        &PropConfig::with_cases(192),
+        &[],
+        gen_labeled_graph_and_perm,
+        |(g, labels, perm)| {
+            let (h, hlabels) = relabel(g, labels, perm);
+            let cg = canonical_form(g, labels);
+            let ch = canonical_form(&h, &hlabels);
+            prop_assert_eq!(
+                &cg.encoding,
+                &ch.encoding,
+                "relabeling changed the canonical encoding (perm {:?})",
+                perm
+            );
+            prop_assert_eq!(canonical_key(g, labels), canonical_key(&h, &hlabels));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn canonical_order_and_position_are_inverse() {
+    check(
+        "canonical_order_and_position_are_inverse",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_labeled_graph_and_perm,
+        |(g, labels, _)| {
+            let c = canonical_form(g, labels);
+            prop_assert_eq!(c.order.len(), g.num_nodes());
+            for (p, v) in c.order.iter().enumerate() {
+                prop_assert_eq!(c.position[v.index()], p);
+            }
+            // `order` is a permutation: every node appears exactly once.
+            let mut seen = vec![false; g.num_nodes()];
+            for v in &c.order {
+                prop_assert!(!seen[v.index()], "duplicate node {} in order", v);
+                seen[v.index()] = true;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn canonical_encoding_separates_modified_graphs() {
+    check(
+        "canonical_encoding_separates_modified_graphs",
+        &PropConfig::with_cases(128),
+        &[],
+        gen_labeled_graph_and_perm,
+        |(g, labels, _)| {
+            let base = canonical_form(g, labels);
+            // Bumping any one label changes the encoding.
+            let mut bumped = labels.clone();
+            bumped[0] = bumped[0].wrapping_add(1000);
+            prop_assert!(
+                canonical_form(g, &bumped).encoding != base.encoding,
+                "label change not reflected in encoding"
+            );
+            // Adding an edge with a delay outside the generator's range
+            // changes the encoding.
+            let mut grown = g.clone();
+            grown.add_edge(NodeId(0), NodeId(0), 99, 1, DepKind::Flow, false);
+            prop_assert!(
+                canonical_form(&grown, labels).encoding != base.encoding,
+                "edge addition not reflected in encoding"
+            );
             Ok(())
         },
     );

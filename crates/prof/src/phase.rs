@@ -107,6 +107,17 @@ pub const CORPUS_LOOPS: &str = "corpus.loops";
 /// Real operations across all measured loops.
 pub const CORPUS_OPS: &str = "corpus.ops";
 
+// ---- scheduling service (ims-serve) ----
+/// Requests answered by the scheduling service (one per input line).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Responses served from a pre-existing content-addressed cache entry.
+pub const SERVE_CACHE_HITS: &str = "serve.cache.hits";
+/// Responses that required scheduling a new canonical problem.
+pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
+/// Responses with `ok:false` (parse rejections, scheduling errors,
+/// contained worker panics).
+pub const SERVE_FAILED: &str = "serve.requests.failed";
+
 // ---- deterministic distributions ----
 /// Slots examined per `FindTimeSlot` call (per real operation placement).
 pub const HIST_SLOT_SEARCH: &str = "sched.slot_search.iters";
@@ -157,6 +168,10 @@ pub const REGISTRY: &[PhaseDesc] = &[
     PhaseDesc { name: VLIW_SIM_CYCLES, kind: PhaseKind::Counter, what: "simulated machine cycles" },
     PhaseDesc { name: VLIW_SIM_LOOPS, kind: PhaseKind::Counter, what: "loops simulated to completion" },
     PhaseDesc { name: VLIW_SIM_ERRORS, kind: PhaseKind::Counter, what: "simulations returning SimError" },
+    PhaseDesc { name: SERVE_REQUESTS, kind: PhaseKind::Counter, what: "service requests answered" },
+    PhaseDesc { name: SERVE_CACHE_HITS, kind: PhaseKind::Counter, what: "responses served from the content-addressed cache" },
+    PhaseDesc { name: SERVE_CACHE_MISSES, kind: PhaseKind::Counter, what: "responses that scheduled a new canonical problem" },
+    PhaseDesc { name: SERVE_FAILED, kind: PhaseKind::Counter, what: "ok:false responses (parse/schedule/panic failures)" },
     PhaseDesc { name: CORPUS_LOOPS, kind: PhaseKind::Counter, what: "corpus loops measured" },
     PhaseDesc { name: CORPUS_OPS, kind: PhaseKind::Counter, what: "real operations across measured loops" },
     PhaseDesc { name: HIST_SLOT_SEARCH, kind: PhaseKind::Hist, what: "slots examined per FindTimeSlot call" },

@@ -1,0 +1,139 @@
+//! `scheduled` — the scheduling service daemon.
+//!
+//! Reads JSONL scheduling requests (stdin by default), answers each line
+//! with a JSONL response, and serves repeated problems from a
+//! content-addressed cache. Byte-deterministic: the same request stream
+//! yields the same response bytes at any `--threads N`, cache hot or
+//! cold.
+//!
+//! ```text
+//! scheduled [--threads N] [--batch N] [--requests FILE] [--profile FILE]
+//!           [--socket PATH [--conns N]]
+//! scheduled --gen-requests N [--seed S]
+//! scheduled --dedup FILE
+//! ```
+//!
+//! * default: serve stdin → stdout until EOF.
+//! * `--requests FILE`: serve the lines of FILE instead of stdin.
+//! * `--socket PATH`: serve Unix-socket connections sequentially against
+//!   one shared cache; `--conns N` exits after N connections (for tests).
+//! * `--profile FILE`: write a `BENCH_*`-style snapshot with the
+//!   `serve.*` counters on exit.
+//! * `--gen-requests N --seed S`: print N request lines generated from
+//!   the seeded benchmark corpus, then exit.
+//! * `--dedup FILE`: canonicalize the request lines of FILE and report
+//!   distinct-problem / structural-duplicate counts, then exit.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::process::exit;
+
+use ims_prof::{snapshot, MetricsRegistry};
+use ims_serve::{dedup_keys, gen_requests, pool, serve_stream, Engine};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scheduled [--threads N] [--batch N] [--requests FILE] [--profile FILE]\n\
+         \x20                [--socket PATH [--conns N]]\n\
+         \x20      scheduled --gen-requests N [--seed S]\n\
+         \x20      scheduled --dedup FILE"
+    );
+    exit(2);
+}
+
+/// Reads the value of `--flag V` / `--flag=V` from `args`, exiting with
+/// usage on a present-but-malformed value.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let v = if a == name {
+            it.next().map(String::as_str)
+        } else if let Some(rest) = a.strip_prefix(name) {
+            rest.strip_prefix('=')
+        } else {
+            continue;
+        };
+        let Some(v) = v else {
+            eprintln!("error: {name} requires a value");
+            usage();
+        };
+        return match v.parse() {
+            Ok(t) => Some(t),
+            Err(_) => {
+                eprintln!("error: invalid {name} value {v:?}");
+                usage();
+            }
+        };
+    }
+    None
+}
+
+fn main() -> io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(n) = flag::<usize>(&args, "--gen-requests") {
+        let seed = flag::<u64>(&args, "--seed").unwrap_or(7);
+        let stdout = io::stdout();
+        let mut out = stdout.lock();
+        for line in gen_requests(seed, n) {
+            writeln!(out, "{line}")?;
+        }
+        return Ok(());
+    }
+
+    if let Some(path) = flag::<String>(&args, "--dedup") {
+        let lines: Vec<String> = BufReader::new(File::open(&path)?)
+            .lines()
+            .collect::<io::Result<_>>()?;
+        let (keys, dups) = dedup_keys(&lines);
+        println!(
+            "{} lines, {} distinct canonical problems, {} structural duplicates",
+            lines.len(),
+            keys.len(),
+            dups
+        );
+        return Ok(());
+    }
+
+    // --threads is strict: a malformed value exits 2 with a usage line
+    // (threads_or_exit), never a silent default.
+    let threads = pool::threads_or_exit(&args);
+    let batch = flag::<usize>(&args, "--batch").unwrap_or(256);
+    let profile = flag::<String>(&args, "--profile");
+    let mut engine = Engine::new(threads);
+
+    if let Some(socket_path) = flag::<String>(&args, "--socket") {
+        #[cfg(unix)]
+        {
+            let conns = flag::<usize>(&args, "--conns");
+            ims_serve::serve_socket(
+                &mut engine,
+                std::path::Path::new(&socket_path),
+                batch,
+                conns,
+            )?;
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = socket_path;
+            eprintln!("error: --socket requires a Unix platform");
+            exit(2);
+        }
+    } else if let Some(requests_path) = flag::<String>(&args, "--requests") {
+        let reader = BufReader::new(File::open(&requests_path)?);
+        let stdout = io::stdout();
+        serve_stream(&mut engine, reader, stdout.lock(), batch)?;
+    } else {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        serve_stream(&mut engine, stdin.lock(), stdout.lock(), batch)?;
+    }
+
+    if let Some(profile_path) = profile {
+        let mut reg = MetricsRegistry::new();
+        engine.export_metrics(&mut reg);
+        std::fs::write(&profile_path, snapshot::render_snapshot("serve", &reg))?;
+    }
+    eprintln!("{}", engine.summary());
+    Ok(())
+}

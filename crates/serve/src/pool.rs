@@ -1,0 +1,388 @@
+//! A std-only worker pool for corpus-scale scheduling.
+//!
+//! The paper's evaluation schedules 1,327 independent loops; nothing about
+//! one loop's schedule depends on another's, so the corpus is
+//! embarrassingly parallel. [`par_map`] fans a slice out over `threads`
+//! scoped `std::thread` workers that pull chunks off a shared atomic
+//! cursor (dynamic chunking, so a few expensive loops cannot strand a
+//! worker), and reassembles the results **in input order**. Because every
+//! result is keyed by its input index before merging, the output is
+//! byte-for-byte identical for any thread count — determinism is a
+//! property of the merge, not of the OS scheduler.
+//!
+//! Two failure-handling layers sit on top of the plain map:
+//!
+//! * [`try_par_map`] catches a panic in the user closure per *item* and
+//!   returns it as a structured [`WorkerPanic`] carrying the input index
+//!   of the item that blew up — a long-running service turns that into a
+//!   per-request failure response instead of process death, and a batch
+//!   driver can at least say *which* loop was at fault. The index is the
+//!   item's position in the input, so the report is identical at any
+//!   thread count.
+//! * [`par_map`] still propagates the panic (batch drivers want to die on
+//!   a scheduler bug), but with the item and chunk index attached instead
+//!   of a bare `expect`.
+//!
+//! No external dependencies: `std::thread::scope` + `AtomicUsize` only.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many items a worker claims per visit to the shared cursor. Small
+/// enough to balance a skewed corpus (one 163-op loop costs hundreds of
+/// 4-op loops), large enough to keep cursor contention negligible.
+const CHUNK: usize = 8;
+
+/// The number of worker threads to use when the caller does not specify:
+/// [`std::thread::available_parallelism`], clamped to the pool's tested
+/// range, or 1 if the platform cannot say.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 64)
+}
+
+/// Reads a `--threads N` (or `--threads=N`) flag from the process
+/// arguments, falling back to [`default_threads`] when the flag is
+/// absent. Shared by every corpus binary so they all accept the same
+/// flag, with the same strictness: a malformed or zero value prints a
+/// usage message to stderr and exits with status 2 (it is **not**
+/// silently replaced by a default).
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    threads_or_exit(&args)
+}
+
+/// [`threads_from_args`] over an explicit argument list: resolves the
+/// `--threads` flag to a worker count, exiting the process with a usage
+/// message on a malformed value. For binaries that already collected
+/// their arguments.
+pub fn threads_or_exit(args: &[String]) -> usize {
+    match parse_threads(args) {
+        Ok(Some(n)) => n,
+        Ok(None) => default_threads(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: --threads N  (N >= 1, e.g. --threads 4 or --threads=4)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Why a `--threads` flag could not be resolved to a worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadsError {
+    /// `--threads` was the last argument, with no value following it.
+    MissingValue,
+    /// The value was not a decimal integer (carries the offending text).
+    Invalid(String),
+    /// The value parsed as 0, which names no worker configuration: the
+    /// single-threaded baseline is `--threads 1`.
+    Zero,
+}
+
+impl std::fmt::Display for ThreadsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadsError::MissingValue => write!(f, "--threads requires a value"),
+            ThreadsError::Invalid(v) => write!(f, "invalid --threads value {v:?}"),
+            ThreadsError::Zero => write!(f, "--threads must be at least 1"),
+        }
+    }
+}
+
+/// Parses `--threads N` / `--threads=N` out of an argument list.
+///
+/// Returns `Ok(None)` when the flag is absent (callers fall back to
+/// [`default_threads`]) and an error — never a silent default — when the
+/// flag is present but malformed: a missing value, a non-numeric value,
+/// or `0`. Drivers surface the error and exit nonzero; see
+/// [`threads_or_exit`].
+pub fn parse_threads(args: &[String]) -> Result<Option<usize>, ThreadsError> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--threads" {
+            it.next().ok_or(ThreadsError::MissingValue)?.as_str()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            v
+        } else {
+            continue;
+        };
+        return match value.parse::<usize>() {
+            Ok(0) => Err(ThreadsError::Zero),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(ThreadsError::Invalid(value.to_string())),
+        };
+    }
+    Ok(None)
+}
+
+/// A panic caught inside a pool worker, attributed to the input item
+/// whose closure raised it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Input index of the item being processed when the panic fired.
+    /// Determined by the input, not by worker arrival order, so error
+    /// reports are identical at any thread count.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {} (chunk {}): {}",
+            self.index,
+            self.index / CHUNK,
+            self.message
+        )
+    }
+}
+
+/// Stringifies a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies `f` to every item of `items` using `threads` worker threads and
+/// returns the results in input order.
+///
+/// With `threads <= 1` the map runs inline on the calling thread (no
+/// spawn, no atomics) — the deterministic baseline the parallel path must
+/// reproduce exactly. `f` receives `(index, &item)` so callers can key
+/// per-item state (seeds, labels) off the stable input position rather
+/// than off arrival order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker after all workers have joined,
+/// re-raised with the failing item's input index, its chunk index, and
+/// the original payload text attached. Callers that must survive a
+/// worker panic use [`try_par_map`] instead.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let results = try_par_map(items, threads, f);
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("corpus {p}"),
+        })
+        .collect()
+}
+
+/// [`par_map`] with per-item panic containment: each closure invocation
+/// runs under [`catch_unwind`], and a panic becomes an
+/// `Err(`[`WorkerPanic`]`)` in that item's output slot while every other
+/// item still completes. The scheduling service maps the error to a
+/// per-request failure response; [`par_map`] re-raises it.
+///
+/// Results are in input order for any thread count, exactly as
+/// [`par_map`].
+pub fn try_par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let call = |i: usize, item: &T| -> Result<R, WorkerPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| WorkerPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
+
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| call(i, x)).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+
+    let mut indexed: Vec<(usize, Result<R, WorkerPanic>)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let call = &call;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Result<R, WorkerPanic>)> = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if lo >= items.len() {
+                            break;
+                        }
+                        let hi = (lo + CHUNK).min(items.len());
+                        for (i, item) in items[lo..hi].iter().enumerate() {
+                            local.push((lo + i, call(lo + i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            // The closure's panics are contained per item; a panic escaping
+            // the worker itself would be a pool bug, not a workload bug.
+            indexed.extend(handle.join().expect("pool worker died outside the user closure"));
+        }
+    });
+
+    // The merge re-imposes input order: output is independent of which
+    // worker computed what, and therefore of the thread count.
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_input_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..203).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..57).collect();
+        let got = par_map(&items, 4, |i, &x| (i, x));
+        for (i, &(idx, x)) in got.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u8> = vec![0; 100];
+        let _ = par_map(&items, 8, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_zero_behaves_like_one() {
+        let items: Vec<u32> = (0..10).collect();
+        assert_eq!(
+            par_map(&items, 0, |_, &x| x),
+            par_map(&items, 1, |_, &x| x)
+        );
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=64).contains(&t));
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_threads(&args(&["bin", "--threads", "4"])), Ok(Some(4)));
+        assert_eq!(parse_threads(&args(&["bin", "--threads=8"])), Ok(Some(8)));
+        assert_eq!(parse_threads(&args(&["bin"])), Ok(None));
+    }
+
+    #[test]
+    fn threads_flag_rejects_malformed_values() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_threads(&args(&["bin", "--threads"])),
+            Err(ThreadsError::MissingValue)
+        );
+        assert_eq!(
+            parse_threads(&args(&["bin", "--threads", "abc"])),
+            Err(ThreadsError::Invalid("abc".into()))
+        );
+        assert_eq!(
+            parse_threads(&args(&["bin", "--threads=1.5"])),
+            Err(ThreadsError::Invalid("1.5".into()))
+        );
+        assert_eq!(
+            parse_threads(&args(&["bin", "--threads", "0"])),
+            Err(ThreadsError::Zero)
+        );
+        assert_eq!(
+            parse_threads(&args(&["bin", "--threads=-3"])),
+            Err(ThreadsError::Invalid("-3".into()))
+        );
+    }
+
+    #[test]
+    fn try_par_map_contains_panics_per_item() {
+        let items: Vec<u32> = (0..40).collect();
+        for threads in [1, 4] {
+            let got = try_par_map(&items, threads, |_, &x| {
+                if x % 13 == 5 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(got.len(), items.len());
+            for (i, r) in got.iter().enumerate() {
+                if i % 13 == 5 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert_eq!(p.message, format!("boom at {i}"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &((i as u32) * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_display_names_item_and_chunk() {
+        let p = WorkerPanic { index: 19, message: "kaput".into() };
+        assert_eq!(
+            p.to_string(),
+            "worker panicked on item 19 (chunk 2): kaput"
+        );
+    }
+
+    #[test]
+    fn par_map_repropagates_with_item_attribution() {
+        let items: Vec<u32> = (0..20).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 4, |_, &x| {
+                if x == 11 {
+                    panic!("bad loop");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "corpus worker panicked on item 11 (chunk 1): bad loop");
+    }
+}

@@ -1,0 +1,519 @@
+//! The batch engine: JSONL requests in, JSONL responses out, through the
+//! content-addressed cache and the deterministic worker pool.
+//!
+//! One batch is processed in three deterministic stages:
+//!
+//! 1. **Parse + canonicalize** (serial; graphs are tiny): every line
+//!    becomes a [`Request`] with its [`Keyed`] canonical form, or an
+//!    error response.
+//! 2. **Schedule the misses** (parallel): the distinct cache keys not yet
+//!    present, in first-appearance order, fan out over
+//!    [`pool::try_par_map`]. A worker panic is contained per job and
+//!    cached as a failure entry — the service never dies on one bad
+//!    request, and the panic text replays from cache exactly like a
+//!    clean error.
+//! 3. **Respond** (serial, input order): every response is rendered from
+//!    the cache entry through the request's own canonicalization
+//!    permutation.
+//!
+//! Stage 2 is the only parallel stage and its results are keyed by
+//! content, not by arrival, so the byte stream and all counters are
+//! identical for any `--threads N`, any batch size, and cache hot or
+//! cold — the repo-wide determinism contract extended to the service
+//! (`DESIGN.md` §5e).
+
+use std::collections::HashSet;
+use std::io::{self, BufRead, Write};
+
+use ims_core::{ProblemBuilder, SchedConfig, Scheduler};
+use ims_exact::{schedule_exact, ExactConfig};
+use ims_prof::{phase, MetricsRegistry};
+
+use crate::cache::{key_request, CanonProblem, Entry, Keyed, ScheduleCache};
+use crate::json;
+use crate::pool;
+use crate::wire::{machine_by_name, parse_request, Request};
+
+/// Everything a worker needs to schedule one cache miss. Derived from the
+/// first request that missed on the key; every field below is part of the
+/// key, so any other request sharing the key carries identical values.
+#[derive(Debug, Clone)]
+struct Job {
+    key: u128,
+    machine: String,
+    backend: ims_core::BackendKind,
+    budget_ratio: f64,
+    max_ii: Option<i64>,
+    node_limit: Option<u64>,
+    canon: CanonProblem,
+}
+
+/// Schedules one canonical problem. Runs inside a pool worker; panics
+/// (e.g. a machine that does not implement a requested opcode) are
+/// contained by [`pool::try_par_map`] and turned into cached failures.
+fn run_job(job: &Job) -> Entry {
+    let machine = machine_by_name(&job.machine).expect("machine validated at parse time");
+    let mut pb = ProblemBuilder::new(&machine);
+    let nodes: Vec<_> = job
+        .canon
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, &op)| pb.add_op(op, ims_ir::OpId(i as u32)))
+        .collect();
+    for e in &job.canon.edges {
+        pb.add_dep(
+            nodes[e.from as usize],
+            nodes[e.to as usize],
+            e.delay,
+            e.distance,
+            e.kind,
+            e.is_mem,
+        );
+    }
+    let problem = pb.finish();
+
+    let mut cfg = SchedConfig::new().budget_ratio(job.budget_ratio);
+    if let Some(m) = job.max_ii {
+        cfg = cfg.max_ii(m);
+    }
+    let n = problem.num_ops();
+    let entry_ok = |schedule: &ims_core::Schedule, mii: i64| Entry::Ok {
+        ii: schedule.ii,
+        mii,
+        length: schedule.length,
+        times: (0..n).map(|i| schedule.time[i + 1]).collect(),
+        alts: (0..n).map(|i| schedule.alternative[i + 1]).collect(),
+    };
+    match job.backend {
+        ims_core::BackendKind::Ims => match Scheduler::new(&problem).config(cfg).run() {
+            Ok(out) => entry_ok(&out.schedule, out.mii.mii),
+            Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
+        },
+        ims_core::BackendKind::Exact => {
+            let mut xcfg = ExactConfig::new().heuristic(cfg);
+            if job.node_limit.is_some() {
+                xcfg = xcfg.node_limit(job.node_limit);
+            }
+            match schedule_exact(&problem, &xcfg) {
+                Ok(out) => entry_ok(&out.schedule, out.mii.mii),
+                Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
+            }
+        }
+    }
+}
+
+/// Best-effort id recovery for lines that failed request validation, so
+/// the client can still correlate the error response. Falls back to `""`.
+fn recover_id(line: &str) -> String {
+    json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(|i| i.as_str().map(str::to_string)))
+        .unwrap_or_default()
+}
+
+fn render_error(id: &str, key: Option<u128>, error: &str) -> String {
+    let mut s = format!("{{\"id\":\"{}\",\"ok\":false", json::escape(id));
+    if let Some(k) = key {
+        s.push_str(&format!(",\"key\":\"{k:032x}\""));
+    }
+    s.push_str(&format!(",\"error\":\"{}\"}}", json::escape(error)));
+    s
+}
+
+fn render_response(req: &Request, keyed: &Keyed, entry: &Entry) -> String {
+    match entry {
+        Entry::Failed { error } => render_error(&req.id, Some(keyed.key), error),
+        Entry::Ok { ii, mii, length, times, alts } => {
+            let mut s = format!(
+                "{{\"id\":\"{}\",\"ok\":true,\"key\":\"{:032x}\",\"ii\":{},\"mii\":{},\"length\":{},\"times\":[",
+                json::escape(&req.id),
+                keyed.key,
+                ii,
+                mii,
+                length
+            );
+            // Cached times are in canonical order; emit them in the
+            // request's own numbering via its permutation.
+            for i in 0..req.ops.len() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&times[keyed.position[i]].to_string());
+            }
+            s.push_str("],\"alts\":[");
+            for i in 0..req.ops.len() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&alts[keyed.position[i]].to_string());
+            }
+            s.push_str("]}");
+            s
+        }
+    }
+}
+
+/// The long-lived service state: cache plus response tallies.
+#[derive(Debug)]
+pub struct Engine {
+    /// The content-addressed store (exposed for inspection in tests).
+    pub cache: ScheduleCache,
+    threads: usize,
+    /// Total requests answered (every input line gets exactly one
+    /// response line).
+    pub requests: u64,
+    /// Responses with `ok:false` — parse rejections, clean scheduling
+    /// errors, and contained worker panics alike.
+    pub failed: u64,
+}
+
+impl Engine {
+    /// A fresh engine scheduling cache misses on `threads` pool workers.
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            cache: ScheduleCache::new(),
+            threads,
+            requests: 0,
+            failed: 0,
+        }
+    }
+
+    /// Processes one batch of request lines, writing one response line
+    /// per request in input order.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors from `out`; malformed requests become error
+    /// responses, not process errors.
+    pub fn process_batch(&mut self, lines: &[String], out: &mut impl Write) -> io::Result<()> {
+        // Stage 1: parse + canonicalize.
+        let parsed: Vec<Result<(Request, Keyed), String>> = lines
+            .iter()
+            .map(|line| {
+                parse_request(line)
+                    .map(|req| {
+                        let keyed = key_request(&req);
+                        (req, keyed)
+                    })
+                    .map_err(|e| render_error(&recover_id(line), None, &format!("invalid request: {e}")))
+            })
+            .collect();
+
+        // Stage 2: schedule the distinct missing keys, first-appearance
+        // order, in parallel.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut queued: HashSet<u128> = HashSet::new();
+        for (req, keyed) in parsed.iter().flatten() {
+            if self.cache.get(keyed.key).is_none() && queued.insert(keyed.key) {
+                jobs.push(Job {
+                    key: keyed.key,
+                    machine: req.machine.clone(),
+                    backend: req.backend,
+                    budget_ratio: req.budget_ratio,
+                    max_ii: req.max_ii,
+                    node_limit: req.node_limit,
+                    canon: keyed.canon.clone(),
+                });
+            }
+        }
+        let results = pool::try_par_map(&jobs, self.threads, |_, job| run_job(job));
+        let fresh: HashSet<u128> = jobs.iter().map(|j| j.key).collect();
+        for (job, result) in jobs.iter().zip(results) {
+            let entry = match result {
+                Ok(entry) => entry,
+                Err(p) => Entry::Failed {
+                    error: format!("schedule worker panicked: {}", p.message),
+                },
+            };
+            self.cache.insert(job.key, entry);
+        }
+
+        // Stage 3: respond in input order, tallying hits and misses.
+        let mut counted: HashSet<u128> = HashSet::new();
+        for item in &parsed {
+            self.requests += 1;
+            match item {
+                Err(line) => {
+                    self.failed += 1;
+                    writeln!(out, "{line}")?;
+                }
+                Ok((req, keyed)) => {
+                    if fresh.contains(&keyed.key) && counted.insert(keyed.key) {
+                        self.cache.misses += 1;
+                    } else {
+                        self.cache.hits += 1;
+                    }
+                    let entry = self.cache.get(keyed.key).expect("miss was scheduled above");
+                    if matches!(entry, Entry::Failed { .. }) {
+                        self.failed += 1;
+                    }
+                    writeln!(out, "{}", render_response(req, keyed, entry))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies the engine's tallies into a profiler registry under the
+    /// `serve.*` phase names.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.add(phase::SERVE_REQUESTS, self.requests);
+        reg.add(phase::SERVE_CACHE_HITS, self.cache.hits);
+        reg.add(phase::SERVE_CACHE_MISSES, self.cache.misses);
+        reg.add(phase::SERVE_FAILED, self.failed);
+    }
+
+    /// One-line summary for stderr logging.
+    pub fn summary(&self) -> String {
+        format!(
+            "serve: {} requests, {} hits, {} misses, {} failed, {} cached entries",
+            self.requests,
+            self.cache.hits,
+            self.cache.misses,
+            self.failed,
+            self.cache.len()
+        )
+    }
+}
+
+/// Pumps a whole request stream through `engine` in batches of `batch`
+/// lines, flushing responses after every batch (so interactive clients
+/// and sockets see answers without waiting for EOF).
+///
+/// # Errors
+///
+/// I/O errors from either side of the stream.
+pub fn serve_stream(
+    engine: &mut Engine,
+    reader: impl BufRead,
+    mut writer: impl Write,
+    batch: usize,
+) -> io::Result<()> {
+    let batch = batch.max(1);
+    let mut pending: Vec<String> = Vec::with_capacity(batch);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        pending.push(line);
+        if pending.len() >= batch {
+            engine.process_batch(&pending, &mut writer)?;
+            writer.flush()?;
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        engine.process_batch(&pending, &mut writer)?;
+    }
+    writer.flush()
+}
+
+/// Serves JSONL request streams over a Unix domain socket: binds `path`,
+/// then accepts connections one at a time, each connection a complete
+/// [`serve_stream`] conversation against the same shared engine (so the
+/// cache stays warm across connections). `max_conns` limits how many
+/// connections are served before returning (`None` serves forever).
+///
+/// # Errors
+///
+/// Bind/accept/stream I/O errors.
+#[cfg(unix)]
+pub fn serve_socket(
+    engine: &mut Engine,
+    path: &std::path::Path,
+    batch: usize,
+    max_conns: Option<usize>,
+) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let mut served = 0usize;
+    while max_conns.is_none_or(|m| served < m) {
+        let (stream, _) = listener.accept()?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        serve_stream(engine, reader, &stream, batch)?;
+        stream.shutdown(std::net::Shutdown::Both).ok();
+        served += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn respond(engine: &mut Engine, lines: &[&str]) -> Vec<String> {
+        let lines: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        engine.process_batch(&lines, &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    const CHAIN: &str = r#"{"id":"c1","machine":"minimal","ops":["add","mul"],"edges":[[0,1,1,0,"flow",false]]}"#;
+    /// The same chain with the two ops listed in the other order.
+    const CHAIN_PERM: &str = r#"{"id":"c2","machine":"minimal","ops":["mul","add"],"edges":[[1,0,1,0,"flow",false]]}"#;
+
+    #[test]
+    fn schedules_and_caches_a_simple_chain() {
+        let mut engine = Engine::new(1);
+        let out = respond(&mut engine, &[CHAIN, CHAIN]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        // Two ops on the minimal machine's single universal unit: ResMII 2.
+        assert!(out[0].contains("\"ii\":2"), "{}", out[0]);
+        assert!(out[0].contains("\"times\":[0,1]"));
+        // Identical requests differ only in nothing — same bytes.
+        assert_eq!(out[0], out[1]);
+        assert_eq!(engine.cache.misses, 1);
+        assert_eq!(engine.cache.hits, 1);
+        assert_eq!(engine.cache.len(), 1);
+    }
+
+    #[test]
+    fn isomorphic_requests_hit_one_entry_with_times_in_their_own_order() {
+        let mut engine = Engine::new(1);
+        let out = respond(&mut engine, &[CHAIN, CHAIN_PERM]);
+        assert_eq!(engine.cache.len(), 1, "one canonical entry");
+        assert_eq!(engine.cache.misses, 1);
+        assert_eq!(engine.cache.hits, 1);
+        // c1: add is op 0 (time 0), mul op 1 (time 1).
+        assert!(out[0].contains("\"times\":[0,1]"), "{}", out[0]);
+        // c2 lists mul first: its times come back permuted.
+        assert!(out[1].contains("\"times\":[1,0]"), "{}", out[1]);
+        // Same key on both responses.
+        let key = |s: &str| s.split("\"key\":\"").nth(1).unwrap()[..32].to_string();
+        assert_eq!(key(&out[0]), key(&out[1]));
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts_and_batch_splits() {
+        let reqs: Vec<String> = (0..12)
+            .map(|i| {
+                format!(
+                    r#"{{"id":"r{i}","machine":"wide2","ops":["load","add","store"],"edges":[[0,1,{d},0,"flow",false],[1,2,1,0,"flow",false]]}}"#,
+                    d = 1 + (i % 3)
+                )
+            })
+            .collect();
+        let run = |threads: usize, split: usize| -> (String, u64, u64) {
+            let mut engine = Engine::new(threads);
+            let mut out = Vec::new();
+            for chunk in reqs.chunks(split) {
+                engine.process_batch(chunk, &mut out).unwrap();
+            }
+            (String::from_utf8(out).unwrap(), engine.cache.hits, engine.cache.misses)
+        };
+        let baseline = run(1, reqs.len());
+        for (threads, split) in [(4, 12), (4, 5), (2, 1), (8, 3)] {
+            assert_eq!(run(threads, split), baseline, "threads={threads} split={split}");
+        }
+        // 3 distinct delays → 3 canonical problems.
+        assert_eq!(baseline.2, 3);
+        assert_eq!(baseline.1, 9);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_process_death() {
+        let mut engine = Engine::new(2);
+        let out = respond(
+            &mut engine,
+            &[
+                "this is not json",
+                r#"{"id":"bad-op","ops":["warp"]}"#,
+                CHAIN,
+            ],
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out[0].contains("\"ok\":false") && out[0].contains("invalid JSON"));
+        assert!(out[1].contains("\"id\":\"bad-op\"") && out[1].contains("unknown opcode"));
+        assert!(out[2].contains("\"ok\":true"));
+        assert_eq!(engine.failed, 2);
+        assert_eq!(engine.requests, 3);
+        // Parse failures touch no cache counters.
+        assert_eq!(engine.cache.hits + engine.cache.misses, 1);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_cached_and_deterministic() {
+        // "wide0" is shape-valid at parse time but its constructor
+        // panics ("machine width must be positive") inside the worker.
+        let line = r#"{"id":"p","machine":"wide0","ops":["add"],"edges":[]}"#;
+        let mut a = Engine::new(1);
+        let first = respond(&mut a, &[line, CHAIN]);
+        assert!(first[0].contains("\"ok\":false"), "{}", first[0]);
+        assert!(first[0].contains("panicked"), "{}", first[0]);
+        assert!(first[1].contains("\"ok\":true"), "healthy request unaffected");
+        // Replay: the failure is served from cache, byte-identical.
+        let again = respond(&mut a, &[line]);
+        assert_eq!(first[0], again[0]);
+        assert_eq!(a.cache.hits, 1, "second pass is a hit");
+        // And identical across thread counts.
+        let mut b = Engine::new(4);
+        let parallel = respond(&mut b, &[line, CHAIN]);
+        assert_eq!(first, parallel);
+    }
+
+    #[test]
+    fn clean_scheduling_errors_are_structured() {
+        // max_ii below the MII: IiCapExceeded, no panic.
+        let line = r#"{"id":"cap","machine":"minimal","max_ii":1,"ops":["add","add"],"edges":[[0,1,3,0,"flow",false],[1,0,3,1,"flow",false]]}"#;
+        let mut engine = Engine::new(1);
+        let out = respond(&mut engine, &[line]);
+        assert!(out[0].contains("\"ok\":false"), "{}", out[0]);
+        assert!(out[0].contains("schedule failed"), "{}", out[0]);
+        assert!(out[0].contains("\"key\":\""), "failures still carry the key");
+    }
+
+    #[test]
+    fn exact_backend_answers_and_caches_separately_from_ims() {
+        let ims = r#"{"id":"i","machine":"minimal","ops":["add","mul"],"edges":[[0,1,1,0,"flow",false]]}"#;
+        let exact = r#"{"id":"x","machine":"minimal","backend":"exact","ops":["add","mul"],"edges":[[0,1,1,0,"flow",false]]}"#;
+        let mut engine = Engine::new(2);
+        let out = respond(&mut engine, &[ims, exact]);
+        assert!(out[0].contains("\"ok\":true"));
+        assert!(out[1].contains("\"ok\":true"));
+        assert_eq!(engine.cache.len(), 2, "backend is part of the key");
+        assert_eq!(engine.cache.misses, 2);
+    }
+
+    #[test]
+    fn serve_stream_batches_and_flushes() {
+        let input = format!("{CHAIN}\n\n{CHAIN_PERM}\n{CHAIN}\n");
+        let mut engine = Engine::new(2);
+        let mut out = Vec::new();
+        serve_stream(&mut engine, input.as_bytes(), &mut out, 2).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 3, "blank line skipped:\n{text}");
+        assert_eq!(engine.requests, 3);
+        assert_eq!(engine.cache.misses, 1);
+        assert_eq!(engine.cache.hits, 2);
+    }
+
+    #[test]
+    fn metrics_export_uses_registered_phase_names() {
+        let mut engine = Engine::new(1);
+        respond(&mut engine, &[CHAIN, CHAIN, "garbage"]);
+        let mut reg = MetricsRegistry::new();
+        engine.export_metrics(&mut reg);
+        assert_eq!(reg.counter(phase::SERVE_REQUESTS), 3);
+        assert_eq!(reg.counter(phase::SERVE_CACHE_MISSES), 1);
+        assert_eq!(reg.counter(phase::SERVE_CACHE_HITS), 1);
+        assert_eq!(reg.counter(phase::SERVE_FAILED), 1);
+        for name in [
+            phase::SERVE_REQUESTS,
+            phase::SERVE_CACHE_HITS,
+            phase::SERVE_CACHE_MISSES,
+            phase::SERVE_FAILED,
+        ] {
+            assert!(phase::describe(name).is_some(), "{name} not in REGISTRY");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The JSONL wire format: one request object per line in, one response
+//! object per line out.
+//!
+//! A **request** describes one modulo-scheduling problem:
+//!
+//! ```json
+//! {"id":"loop-00012","machine":"cydra","backend":"ims","budget_ratio":2.0,
+//!  "ops":["load","add","store"],
+//!  "edges":[[0,1,13,0,"flow",false],[1,2,1,0,"flow",false]]}
+//! ```
+//!
+//! * `id` (required): opaque string echoed on the response. Never hashed.
+//! * `ops` (required): opcode mnemonics, one per operation; operation `i`
+//!   in `edges` refers to `ops[i]`.
+//! * `edges`: `[from, to, delay, distance, kind, is_mem]` sextuples with
+//!   `kind` one of `"flow" | "anti" | "output" | "control"`.
+//! * `machine` (default `"cydra"`): a named machine model —
+//!   `cydra`, `cydra_simple`, `figure1`, `minimal`, `single_alu`, or
+//!   `wide<K>`.
+//! * `backend` (default `"ims"`): `"ims"` or `"exact"`.
+//! * `budget_ratio` (default 2.0), `max_ii` (default none): the
+//!   [`SchedConfig`] knobs.
+//! * `node_limit` (exact backend only; default the [`ExactConfig`]
+//!   default): branch-and-bound node budget. Wall-clock deadlines are
+//!   deliberately not exposed — they would break response determinism.
+//!
+//! A **response** is `{"id":…,"ok":true,"key":…,"ii":…,"mii":…,
+//! "length":…,"times":[…],"alts":[…]}` with `times[i]`/`alts[i]` the
+//! issue time and chosen alternative of `ops[i]`, or
+//! `{"id":…,"ok":false,[…"key":…,]"error":…}`. Responses carry no
+//! cache-hit marker: a hit and a recomputation are byte-identical by
+//! design (the cache-determinism contract, `DESIGN.md` §5e); hit/miss
+//! tallies go to the profiler registry and stderr instead.
+
+use ims_core::BackendKind;
+use ims_graph::{DepGraph, DepKind};
+use ims_ir::Opcode;
+use ims_machine::{cydra, cydra_simple, figure1_machine, minimal, single_alu, wide, MachineModel};
+
+use crate::json::{self, Value};
+
+#[cfg(doc)]
+use ims_core::SchedConfig;
+#[cfg(doc)]
+use ims_exact::ExactConfig;
+
+/// One dependence edge as carried on the wire, endpoints in request
+/// operation indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEdge {
+    /// Source operation index into the request's `ops`.
+    pub from: u32,
+    /// Target operation index into the request's `ops`.
+    pub to: u32,
+    /// Minimum issue-time separation.
+    pub delay: i64,
+    /// Iteration distance.
+    pub distance: u32,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Whether this is a memory dependence.
+    pub is_mem: bool,
+}
+
+/// A parsed, validated scheduling request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Opaque client identifier, echoed on the response (never hashed).
+    pub id: String,
+    /// Named machine model (part of the cache key).
+    pub machine: String,
+    /// Scheduling backend (part of the cache key).
+    pub backend: BackendKind,
+    /// The `BudgetRatio` for the iterative scheduler (part of the key).
+    pub budget_ratio: f64,
+    /// Optional candidate-II cap (part of the key).
+    pub max_ii: Option<i64>,
+    /// Optional branch-and-bound node budget, exact backend only (part of
+    /// the key).
+    pub node_limit: Option<u64>,
+    /// The operations, by opcode.
+    pub ops: Vec<Opcode>,
+    /// The dependence edges over `ops`.
+    pub edges: Vec<WireEdge>,
+}
+
+/// Resolves a wire-format machine name to a model. `wide<K>` accepts any
+/// numeric `K` (e.g. `wide3`).
+///
+/// # Panics
+///
+/// Propagates constructor panics (`wide0`: width must be positive).
+/// [`parse_request`] checks only the name *shape*, so such a request
+/// reaches the scheduling worker, whose panic containment turns the
+/// constructor failure into a per-request error response instead of
+/// taking the service down.
+pub fn machine_by_name(name: &str) -> Option<MachineModel> {
+    match name {
+        "cydra" => Some(cydra()),
+        "cydra_simple" => Some(cydra_simple()),
+        "figure1" => Some(figure1_machine()),
+        "minimal" => Some(minimal()),
+        "single_alu" => Some(single_alu()),
+        _ => {
+            let k: usize = name.strip_prefix("wide")?.parse().ok()?;
+            Some(wide(k))
+        }
+    }
+}
+
+/// Shape-only name check used at parse time; construction (and any
+/// constructor panic) is deferred to the worker.
+fn machine_name_is_wellformed(name: &str) -> bool {
+    matches!(
+        name,
+        "cydra" | "cydra_simple" | "figure1" | "minimal" | "single_alu"
+    ) || name
+        .strip_prefix("wide")
+        .is_some_and(|k| k.parse::<usize>().is_ok())
+}
+
+fn opcode_by_mnemonic(s: &str) -> Option<Opcode> {
+    Opcode::ALL.iter().copied().find(|o| o.mnemonic() == s)
+}
+
+fn kind_by_name(s: &str) -> Option<DepKind> {
+    match s {
+        "flow" => Some(DepKind::Flow),
+        "anti" => Some(DepKind::Anti),
+        "output" => Some(DepKind::Output),
+        "control" => Some(DepKind::Control),
+        _ => None,
+    }
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found: JSON syntax,
+/// missing/ill-typed fields, unknown mnemonics/machines/kinds, or
+/// out-of-range edge endpoints. The error string is a pure function of
+/// the line, so error responses are as deterministic as successes.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = v.as_obj().ok_or("request must be a JSON object")?;
+
+    let id = obj
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"id\"")?
+        .to_string();
+
+    let machine = match obj.get("machine") {
+        None => "cydra".to_string(),
+        Some(m) => m
+            .as_str()
+            .ok_or("field \"machine\" must be a string")?
+            .to_string(),
+    };
+    if !machine_name_is_wellformed(&machine) {
+        return Err(format!("unknown machine {machine:?}"));
+    }
+
+    let backend = match obj.get("backend") {
+        None => BackendKind::Ims,
+        Some(b) => {
+            let s = b.as_str().ok_or("field \"backend\" must be a string")?;
+            BackendKind::parse(s).ok_or_else(|| format!("unknown backend {s:?}"))?
+        }
+    };
+
+    let budget_ratio = match obj.get("budget_ratio") {
+        None => 2.0,
+        Some(r) => {
+            let f = r.as_f64().ok_or("field \"budget_ratio\" must be a number")?;
+            if !f.is_finite() || f <= 0.0 {
+                return Err(format!("budget_ratio must be finite and positive, got {f}"));
+            }
+            f
+        }
+    };
+
+    let max_ii = match obj.get("max_ii") {
+        None | Some(Value::Null) => None,
+        Some(m) => {
+            let n = m.as_i64().ok_or("field \"max_ii\" must be an integer")?;
+            if n < 1 {
+                return Err(format!("max_ii must be at least 1, got {n}"));
+            }
+            Some(n)
+        }
+    };
+
+    let node_limit = match obj.get("node_limit") {
+        None | Some(Value::Null) => None,
+        Some(m) => {
+            let n = m.as_i64().ok_or("field \"node_limit\" must be an integer")?;
+            if n < 0 {
+                return Err(format!("node_limit must be non-negative, got {n}"));
+            }
+            Some(n as u64)
+        }
+    };
+
+    let ops_v = obj
+        .get("ops")
+        .and_then(Value::as_arr)
+        .ok_or("missing array field \"ops\"")?;
+    if ops_v.is_empty() {
+        return Err("\"ops\" must name at least one operation".to_string());
+    }
+    let mut ops = Vec::with_capacity(ops_v.len());
+    for (i, o) in ops_v.iter().enumerate() {
+        let s = o
+            .as_str()
+            .ok_or_else(|| format!("ops[{i}] must be a mnemonic string"))?;
+        ops.push(opcode_by_mnemonic(s).ok_or_else(|| format!("unknown opcode {s:?}"))?);
+    }
+
+    let mut edges = Vec::new();
+    if let Some(edges_v) = obj.get("edges") {
+        let arr = edges_v.as_arr().ok_or("field \"edges\" must be an array")?;
+        for (i, e) in arr.iter().enumerate() {
+            let t = e
+                .as_arr()
+                .filter(|t| t.len() == 6)
+                .ok_or_else(|| format!("edges[{i}] must be [from,to,delay,distance,kind,is_mem]"))?;
+            let from = t[0]
+                .as_i64()
+                .filter(|&n| n >= 0 && (n as usize) < ops.len())
+                .ok_or_else(|| format!("edges[{i}]: from out of range"))?;
+            let to = t[1]
+                .as_i64()
+                .filter(|&n| n >= 0 && (n as usize) < ops.len())
+                .ok_or_else(|| format!("edges[{i}]: to out of range"))?;
+            let delay = t[2]
+                .as_i64()
+                .ok_or_else(|| format!("edges[{i}]: delay must be an integer"))?;
+            let distance = t[3]
+                .as_i64()
+                .filter(|&n| (0..=u32::MAX as i64).contains(&n))
+                .ok_or_else(|| format!("edges[{i}]: distance must be a u32"))?;
+            let kind = t[4]
+                .as_str()
+                .and_then(kind_by_name)
+                .ok_or_else(|| format!("edges[{i}]: unknown dependence kind"))?;
+            let is_mem = t[5]
+                .as_bool()
+                .ok_or_else(|| format!("edges[{i}]: is_mem must be a boolean"))?;
+            edges.push(WireEdge {
+                from: from as u32,
+                to: to as u32,
+                delay,
+                distance: distance as u32,
+                kind,
+                is_mem,
+            });
+        }
+    }
+
+    Ok(Request {
+        id,
+        machine,
+        backend,
+        budget_ratio,
+        max_ii,
+        node_limit,
+        ops,
+        edges,
+    })
+}
+
+impl Request {
+    /// The request's dependence graph over its operations (no START/STOP
+    /// pseudo-nodes — those are machine-derived and added by the problem
+    /// builder), as fed to the canonicalization pass.
+    pub fn graph(&self) -> DepGraph {
+        let mut g = DepGraph::with_nodes(self.ops.len());
+        for e in &self.edges {
+            g.add_edge(
+                ims_graph::NodeId(e.from),
+                ims_graph::NodeId(e.to),
+                e.delay,
+                e.distance,
+                e.kind,
+                e.is_mem,
+            );
+        }
+        g
+    }
+
+    /// Canonicalization labels for [`Request::graph`]: the opcode's index
+    /// in [`Opcode::ALL`] — stable across node renumberings by
+    /// construction, and the only per-node attribute the wire carries.
+    pub fn labels(&self) -> Vec<u64> {
+        self.ops
+            .iter()
+            .map(|op| {
+                Opcode::ALL
+                    .iter()
+                    .position(|o| o == op)
+                    .expect("every opcode appears in Opcode::ALL") as u64
+            })
+            .collect()
+    }
+
+    /// Serializes the request back to one wire line (used by the request
+    /// generator; field order is fixed so generated corpora are
+    /// byte-stable).
+    pub fn to_line(&self) -> String {
+        let mut s = format!(
+            "{{\"id\":\"{}\",\"machine\":\"{}\",\"backend\":\"{}\"",
+            json::escape(&self.id),
+            json::escape(&self.machine),
+            self.backend.name()
+        );
+        if self.budget_ratio != 2.0 {
+            // budget_ratio values are restricted to halves by the
+            // generator, so this Display form is byte-stable.
+            s.push_str(&format!(",\"budget_ratio\":{}", self.budget_ratio));
+        }
+        if let Some(m) = self.max_ii {
+            s.push_str(&format!(",\"max_ii\":{m}"));
+        }
+        if let Some(n) = self.node_limit {
+            s.push_str(&format!(",\"node_limit\":{n}"));
+        }
+        s.push_str(",\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", op.mnemonic()));
+        }
+        s.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "[{},{},{},{},\"{}\",{}]",
+                e.from, e.to, e.delay, e.distance, e.kind, e.is_mem
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse_request(
+            r#"{"id":"x","machine":"minimal","backend":"exact","budget_ratio":4.0,
+                "max_ii":9,"node_limit":1000,"ops":["add","mul"],
+                "edges":[[0,1,2,0,"flow",false],[1,0,1,1,"anti",true]]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, "x");
+        assert_eq!(r.machine, "minimal");
+        assert_eq!(r.backend, BackendKind::Exact);
+        assert_eq!(r.budget_ratio, 4.0);
+        assert_eq!(r.max_ii, Some(9));
+        assert_eq!(r.node_limit, Some(1000));
+        assert_eq!(r.ops, vec![Opcode::Add, Opcode::Mul]);
+        assert_eq!(r.edges.len(), 2);
+        assert_eq!(r.edges[1].kind, DepKind::Anti);
+        assert!(r.edges[1].is_mem);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let r = parse_request(r#"{"id":"d","ops":["add"]}"#).unwrap();
+        assert_eq!(r.machine, "cydra");
+        assert_eq!(r.backend, BackendKind::Ims);
+        assert_eq!(r.budget_ratio, 2.0);
+        assert_eq!(r.max_ii, None);
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for (line, needle) in [
+            ("{\"ops\":[\"add\"]}", "\"id\""),
+            (r#"{"id":"a","ops":[]}"#, "at least one"),
+            (r#"{"id":"a","ops":["frobnicate"]}"#, "unknown opcode"),
+            (r#"{"id":"a","machine":"pdp11","ops":["add"]}"#, "unknown machine"),
+            (r#"{"id":"a","backend":"magic","ops":["add"]}"#, "unknown backend"),
+            (r#"{"id":"a","ops":["add"],"edges":[[0,5,1,0,"flow",false]]}"#, "out of range"),
+            (r#"{"id":"a","ops":["add"],"edges":[[0,0,1,0,"data",false]]}"#, "kind"),
+            (r#"{"id":"a","budget_ratio":-1,"ops":["add"]}"#, "budget_ratio"),
+            (r#"{"id":"a","max_ii":0,"ops":["add"]}"#, "max_ii"),
+            ("not json", "invalid JSON"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn machine_names_resolve() {
+        for name in ["cydra", "cydra_simple", "figure1", "minimal", "single_alu", "wide4"] {
+            assert!(machine_by_name(name).is_some(), "{name}");
+        }
+        assert!(machine_by_name("widex").is_none());
+        assert!(machine_by_name("vax").is_none());
+    }
+
+    #[test]
+    fn wide0_parses_but_construction_panics() {
+        // Shape-valid name with a panicking constructor: the parse layer
+        // lets it through so the worker's panic containment (not the
+        // serial parse stage) owns the failure.
+        let line = r#"{"id":"w","machine":"wide0","ops":["add"]}"#;
+        assert_eq!(parse_request(line).unwrap().machine, "wide0");
+        assert!(std::panic::catch_unwind(|| machine_by_name("wide0")).is_err());
+    }
+
+    #[test]
+    fn to_line_round_trips() {
+        let line = r#"{"id":"rt","machine":"wide2","backend":"ims","ops":["load","add"],"edges":[[0,1,13,0,"flow",false]]}"#;
+        let r = parse_request(line).unwrap();
+        assert_eq!(r.to_line(), line);
+        assert_eq!(parse_request(&r.to_line()).unwrap(), r);
+    }
+}

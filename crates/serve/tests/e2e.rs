@@ -1,0 +1,221 @@
+//! End-to-end contract of the `scheduled` binary: replaying a request
+//! file twice yields byte-identical response halves with the second pass
+//! fully cache-served, the response stream is byte-identical across
+//! `--threads` values, failures come back as structured responses, and a
+//! malformed `--threads` is a hard usage error.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use ims_prof::snapshot::Snapshot;
+use ims_prof::phase;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ims_serve_e2e_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `scheduled` with `args`, feeding `input` on stdin.
+fn scheduled(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scheduled"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn scheduled");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    child.wait_with_output().expect("scheduled runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+/// A deterministic request corpus: the first `n` seeded corpus loops.
+fn requests(n: usize) -> String {
+    let out = scheduled(&["--gen-requests", &n.to_string(), "--seed", "7"], "");
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), n);
+    text
+}
+
+fn counters(profile_path: &PathBuf) -> std::collections::BTreeMap<String, u64> {
+    let text = std::fs::read_to_string(profile_path).expect("profile written");
+    Snapshot::parse(&text).expect("profile parses").counters
+}
+
+#[test]
+fn replay_is_byte_identical_and_second_pass_fully_cached() {
+    let dir = scratch("replay");
+    let reqs = requests(8);
+    let doubled = format!("{reqs}{reqs}");
+    let profile = dir.join("replay.json");
+
+    let out = scheduled(
+        &["--threads", "1", "--profile", profile.to_str().unwrap()],
+        &doubled,
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 16, "one response per request line");
+    // The two passes over the same file answer byte-identically: a cache
+    // hit must be indistinguishable from a fresh schedule.
+    assert_eq!(lines[..8], lines[8..], "cold and warm halves differ");
+    for line in &lines {
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+
+    let c = counters(&profile);
+    let hits = c[phase::SERVE_CACHE_HITS];
+    let misses = c[phase::SERVE_CACHE_MISSES];
+    assert_eq!(c[phase::SERVE_REQUESTS], 16);
+    assert_eq!(hits + misses, 16);
+    assert!(misses <= 8, "at most one miss per distinct problem: {misses}");
+    assert!(hits >= 8, "the whole second pass must be cache-served: {hits}");
+    assert_eq!(c[phase::SERVE_FAILED], 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn responses_are_byte_identical_across_thread_counts() {
+    let dir = scratch("threads");
+    let reqs = requests(10);
+    let run = |threads: &str, profile: &PathBuf| {
+        let out = scheduled(
+            &["--threads", threads, "--profile", profile.to_str().unwrap()],
+            &reqs,
+        );
+        assert!(out.status.success());
+        stdout(&out)
+    };
+    let p1 = dir.join("t1.json");
+    let p4 = dir.join("t4.json");
+    let serial = run("1", &p1);
+    let parallel = run("4", &p4);
+    assert_eq!(serial, parallel, "--threads must not change response bytes");
+    // The cache tallies are part of the determinism contract too.
+    assert_eq!(counters(&p1), counters(&p4));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn requests_file_flag_matches_stdin() {
+    let dir = scratch("reqfile");
+    let reqs = requests(5);
+    let path = dir.join("reqs.jsonl");
+    std::fs::write(&path, &reqs).unwrap();
+    let from_stdin = scheduled(&["--threads", "2"], &reqs);
+    let from_file = scheduled(&["--threads", "2", "--requests", path.to_str().unwrap()], "");
+    assert!(from_file.status.success());
+    assert_eq!(stdout(&from_stdin), stdout(&from_file));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failures_are_structured_responses_not_crashes() {
+    // A parse error, a contained constructor panic (wide0), and a clean
+    // scheduling failure (max_ii below MII) each answer in place.
+    let input = "\
+not json\n\
+{\"id\":\"w\",\"machine\":\"wide0\",\"ops\":[\"add\"]}\n\
+{\"id\":\"cap\",\"machine\":\"minimal\",\"max_ii\":1,\"ops\":[\"add\",\"add\"],\"edges\":[[0,1,3,0,\"flow\",false],[1,0,3,1,\"flow\",false]]}\n\
+{\"id\":\"ok\",\"machine\":\"minimal\",\"ops\":[\"add\"]}\n";
+    let out = scheduled(&["--threads", "2"], input);
+    assert!(out.status.success(), "failures must not kill the service");
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    assert!(lines[0].contains("\"ok\":false") && lines[0].contains("invalid JSON"));
+    assert!(lines[1].contains("\"ok\":false") && lines[1].contains("panicked"), "{}", lines[1]);
+    assert!(lines[2].contains("\"ok\":false") && lines[2].contains("schedule failed"));
+    assert!(lines[3].contains("\"ok\":true"));
+}
+
+#[test]
+fn malformed_threads_is_a_usage_error() {
+    for args in [
+        &["--threads", "zero"][..],
+        &["--threads", "0"][..],
+        &["--threads"][..],
+    ] {
+        let out = scheduled(args, "");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "{args:?} -> {err}");
+        assert!(out.stdout.is_empty());
+    }
+}
+
+#[test]
+fn gen_requests_is_reproducible_and_dedup_reports() {
+    let a = requests(6);
+    let b = requests(6);
+    assert_eq!(a, b, "generation is a pure function of (seed, n)");
+
+    let dir = scratch("dedup");
+    let path = dir.join("corpus.jsonl");
+    // Append a renumbered duplicate of a tiny problem plus its original.
+    let extra = concat!(
+        r#"{"id":"d1","ops":["load","add"],"edges":[[0,1,13,0,"flow",false]]}"#,
+        "\n",
+        r#"{"id":"d2","ops":["add","load"],"edges":[[1,0,13,0,"flow",false]]}"#,
+        "\n"
+    );
+    std::fs::write(&path, format!("{a}{extra}")).unwrap();
+    let out = scheduled(&["--dedup", path.to_str().unwrap()], "");
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("8 lines"), "{text}");
+    assert!(text.contains("structural duplicate"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_mode_serves_a_connection() {
+    use std::io::Read;
+    use std::os::unix::net::UnixStream;
+
+    let dir = scratch("socket");
+    let sock = dir.join("scheduled.sock");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scheduled"))
+        .args(["--threads", "2", "--socket", sock.to_str().unwrap(), "--conns", "1"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn scheduled --socket");
+
+    // Wait for the listener to come up.
+    let mut stream = None;
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(&sock) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut stream = stream.expect("socket accepts within 2s");
+    stream
+        .write_all(b"{\"id\":\"s\",\"machine\":\"minimal\",\"ops\":[\"add\"]}\n")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.contains("\"id\":\"s\"") && reply.contains("\"ok\":true"), "{reply}");
+
+    let status = child.wait().expect("exits after --conns 1");
+    assert!(status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

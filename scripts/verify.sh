@@ -99,6 +99,47 @@ cargo run --release --offline -q -p ims-bench --bin trace_report -- \
     "$tr1_dir" --top 3 >/dev/null
 echo "    trace_report renders the trace directory"
 
+echo "==> scheduled service: replay + cache determinism across thread counts"
+reqs="$bench_dir/serve_requests.jsonl"
+doubled="$bench_dir/serve_requests_x2.jsonl"
+sv1_log=$(mktemp)
+sv4_log=$(mktemp)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sv1_log" "$sv4_log"' EXIT
+cargo run --release --offline -q -p ims-serve --bin scheduled -- \
+    --gen-requests 40 --seed 7 >"$reqs"
+cat "$reqs" "$reqs" >"$doubled"
+cargo run --release --offline -q -p ims-serve --bin scheduled -- \
+    --threads 1 --requests "$doubled" \
+    --profile "$bench_dir/BENCH_serve_t1.json" >"$sv1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-serve --bin scheduled -- \
+    --threads 4 --requests "$doubled" \
+    --profile "$bench_dir/BENCH_serve_t4.json" >"$sv4_log" 2>/dev/null
+if ! diff -q "$sv1_log" "$sv4_log" >/dev/null; then
+    echo "FAIL: scheduled output differs between --threads 1 and --threads 4" >&2
+    diff "$sv1_log" "$sv4_log" | head >&2
+    exit 1
+fi
+# The file was replayed twice: the two response halves must be identical
+# bytes (a warm cache is indistinguishable from a cold one)...
+n_half=$(wc -l <"$reqs")
+if ! diff -q <(head -n "$n_half" "$sv1_log") <(tail -n "$n_half" "$sv1_log") >/dev/null; then
+    echo "FAIL: cold and warm response halves differ" >&2
+    exit 1
+fi
+# ...and the second pass must be fully cache-served: at most one miss per
+# distinct canonical problem, everything else a hit.
+misses=$(grep -o '"serve\.cache\.misses": [0-9]*' "$bench_dir/BENCH_serve_t1.json" | grep -o '[0-9]*$')
+hits=$(grep -o '"serve\.cache\.hits": [0-9]*' "$bench_dir/BENCH_serve_t1.json" | grep -o '[0-9]*$')
+if [ "$misses" -gt "$n_half" ] || [ "$((hits + misses))" -ne "$((2 * n_half))" ]; then
+    echo "FAIL: cache counters wrong: hits=$hits misses=$misses over $((2 * n_half)) requests" >&2
+    exit 1
+fi
+# Hit/miss tallies are deterministic too: thread counts must agree.
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_serve_t1.json" "$bench_dir/BENCH_serve_t4.json" \
+    --strict-counters --no-wall
+echo "    $((2 * n_half)) responses byte-identical across thread counts; second pass fully cached ($hits hits, $misses misses)"
+
 echo "==> cargo doc --no-deps --offline (warnings are errors)"
 cargo doc --no-deps --offline --workspace 2>&1 | tee "$doc_log"
 if grep -q "^warning" "$doc_log"; then
@@ -106,4 +147,4 @@ if grep -q "^warning" "$doc_log"; then
     exit 1
 fi
 
-echo "OK: build, tests, determinism, profiling gates, and docs all clean offline"
+echo "OK: build, tests, determinism, profiling gates, service cache, and docs all clean offline"

@@ -21,9 +21,12 @@
 //! * the pipeline-wide phase profiler — metrics registry, wall-clock
 //!   spans, `BENCH_*.json` snapshots and their diff engine ([`prof`]),
 //! * event-level scheduler observability — JSON-lines traces, replay,
-//!   convergence reports ([`mod@trace`]), and
+//!   convergence reports ([`mod@trace`]),
 //! * the corpus measurement harness with its parallel scheduling driver
-//!   ([`mod@bench`]).
+//!   ([`mod@bench`]), and
+//! * a scheduler-as-a-service daemon — JSONL wire format, deterministic
+//!   worker pool, content-addressed schedule cache over the graph
+//!   canonicalization pass ([`serve`]).
 //!
 //! This facade crate re-exports all of them under one roof. Downstream users
 //! can either depend on `ims` or on the individual `ims-*` crates; the
@@ -59,6 +62,7 @@ pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
 pub use ims_machine as machine;
 pub use ims_prof as prof;
+pub use ims_serve as serve;
 pub use ims_stats as stats;
 pub use ims_trace as trace;
 pub use ims_vliw as vliw;

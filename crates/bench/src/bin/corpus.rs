@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! corpus [--seed H] [--loops N] [--budget R] [--threads T] [--trace DIR]
-//!        [--backend ims|exact] [--deadline-ms D] [--wall] [--profile FILE]
+//!        [--backend ims|exact|sat] [--deadline-ms D] [--wall] [--profile FILE]
 //! ```
 //!
 //! Defaults: the paper's 1327-loop corpus at seed `0xC4D5`, BudgetRatio 6,
@@ -19,10 +19,14 @@
 //! `trace_report` binary.
 //!
 //! `--backend exact` proves II optimality per loop by branch-and-bound
-//! (adding `proved_lb`/`best_ub`/`limit_hit` to each JSON line);
-//! `--deadline-ms D` meters that search as a deterministic node budget of
-//! `D × NODES_PER_MS` per loop (0 = unlimited), so the output stays
-//! byte-identical across runs and thread counts. `--wall` appends the
+//! and `--backend sat` by CDCL search over the modulo-scheduling CNF
+//! encoding (both adding `proved_lb`/`best_ub`/`limit_hit` to each JSON
+//! line); `--deadline-ms D` meters the search as a deterministic work
+//! budget — `D × NODES_PER_MS` branch-and-bound nodes or
+//! `D × CONFLICTS_PER_MS` CDCL conflicts per loop (0 = unlimited) — so
+//! the output stays byte-identical across runs and thread counts.
+//! Portfolio specs belong to the service driver (`scheduled`), not this
+//! per-loop harness; they exit 2 here. `--wall` appends the
 //! (non-deterministic) per-loop `wall_ns` timing to each line.
 //!
 //! `--profile FILE` additionally profiles every pipeline phase (including
@@ -34,13 +38,13 @@
 //! varies. Compare snapshots with `benchdiff`, render them with
 //! `profile_report`.
 
-use ims_bench::pool::threads_or_exit;
+use ims_bench::pool::{backend_or_exit, threads_or_exit};
 use ims_bench::profile::{measure_corpus_profiled, parse_profile_path, write_profile};
 use ims_bench::{
-    corpus_jsonl_opts, measure_corpus_backend, measure_corpus_traced, node_budget_for_ms,
-    parse_trace_dir,
+    conflict_budget_for_ms, corpus_jsonl_opts, measure_corpus_backend, measure_corpus_traced,
+    node_budget_for_ms, parse_trace_dir,
 };
-use ims_core::BackendKind;
+use ims_core::{BackendKind, BackendSpec};
 use ims_loopgen::corpus_of_size;
 use ims_machine::cydra;
 
@@ -66,20 +70,26 @@ fn main() {
     let loops: usize = flag(&args, "--loops", 1327);
     let budget: f64 = flag(&args, "--budget", 6.0);
     let deadline_ms: u64 = flag(&args, "--deadline-ms", 5000);
-    let backend_name: String = flag(&args, "--backend", "ims".to_string());
     let with_wall = args.iter().any(|a| a == "--wall");
     let threads = threads_or_exit(&args);
     let trace_dir = parse_trace_dir(&args);
     let profile_path = parse_profile_path(&args);
 
-    let Some(backend) = BackendKind::parse(&backend_name) else {
-        eprintln!("corpus: unknown --backend {backend_name:?} (expected ims or exact)");
+    // This harness measures one backend per loop; portfolio racing lives
+    // in the service driver, where the members share a cache entry.
+    let spec = backend_or_exit(&args, BackendSpec::default());
+    let Some(backend) = spec.as_leaf() else {
+        eprintln!("corpus: --backend {spec} is not supported here (expected a leaf: ims, exact, or sat)");
         std::process::exit(2);
     };
-    if trace_dir.is_some() && backend == BackendKind::Exact {
+    if trace_dir.is_some() && backend != BackendKind::Ims {
         eprintln!("corpus: --trace is only supported with --backend ims");
         std::process::exit(2);
     }
+    let work_limit = match backend {
+        BackendKind::Sat => conflict_budget_for_ms(deadline_ms),
+        _ => node_budget_for_ms(deadline_ms),
+    };
 
     let corpus = corpus_of_size(seed, loops);
     let machine = cydra();
@@ -90,7 +100,7 @@ fn main() {
             &machine,
             backend,
             budget,
-            node_budget_for_ms(deadline_ms),
+            work_limit,
             threads,
             trace_dir.as_deref(),
             "",
@@ -113,12 +123,12 @@ fn main() {
                         std::process::exit(1);
                     })
             }
-            BackendKind::Exact => measure_corpus_backend(
+            BackendKind::Exact | BackendKind::Sat => measure_corpus_backend(
                 &corpus,
                 &machine,
                 backend,
                 budget,
-                node_budget_for_ms(deadline_ms),
+                work_limit,
                 threads,
             ),
         }

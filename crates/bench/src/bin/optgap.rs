@@ -1,29 +1,32 @@
 //! Corpus-wide optimality-gap harness: iterative vs. exact scheduling.
 //!
-//! For every corpus loop, the exact branch-and-bound backend establishes
-//! the true minimum II (or explicit bounds when its node budget runs
-//! out), and the iterative scheduler is run at BudgetRatios 1, 2, 3 and 6
-//! — the sweep of the paper's §4.3. The per-loop JSON lines and the
-//! aggregate line quantify how far Rau's heuristic sits from optimal at
-//! each budget.
+//! For every corpus loop, an exact backend establishes the true minimum
+//! II (or explicit bounds when its work budget runs out), and the
+//! iterative scheduler is run at BudgetRatios 1, 2, 3 and 6 — the sweep
+//! of the paper's §4.3. The per-loop JSON lines and the aggregate line
+//! quantify how far Rau's heuristic sits from optimal at each budget.
 //!
 //! ```text
 //! optgap [--seed H] [--loops N] [--threads T] [--deadline-ms D]
-//!        [--wall] [--trace DIR] [--profile FILE]
+//!        [--backend exact|sat] [--wall] [--trace DIR] [--profile FILE]
 //! ```
 //!
 //! Defaults: 300 loops at seed `0xC4D5`, one worker per core, a 5-second
-//! per-loop deadline. The deadline is applied as a deterministic node
-//! budget (`D × NODES_PER_MS`), never as wall-clock, so stdout is
-//! byte-identical across runs and `--threads` values — `scripts/verify.sh`
-//! diffs `--threads 1` against `--threads 4` on every run.
+//! per-loop deadline, the branch-and-bound (`exact`) prover. The deadline
+//! is applied as a deterministic work budget (`D × NODES_PER_MS`
+//! branch-and-bound nodes, or `D × CONFLICTS_PER_MS` CDCL conflicts with
+//! `--backend sat`), never as wall-clock, so stdout is byte-identical
+//! across runs and `--threads` values — `scripts/verify.sh` diffs
+//! `--threads 1` against `--threads 4` on every run. Because the gap is
+//! measured *against* an exact prover, `--backend ims` (and portfolio
+//! specs, which include it) are rejected with exit 2.
 //!
 //! Per-loop fields: `exact_lb`/`exact_ub` bound the true minimum II
 //! (equal when proven), `limit_hit` flags an aborted search, `nodes` its
-//! cost, and `ii_b1` … `ii_b6` are the heuristic IIs. The aggregate line
-//! reports, over the `decided` loops (those with proven optima), the
-//! summed gap `Σ (II − II*)` and the count of optimally scheduled loops
-//! per budget ratio.
+//! cost (CDCL conflicts under `--backend sat`), and `ii_b1` … `ii_b6`
+//! are the heuristic IIs. The aggregate line reports, over the `decided`
+//! loops (those with proven optima), the summed gap `Σ (II − II*)` and
+//! the count of optimally scheduled loops per budget ratio.
 //!
 //! The corpus driver's opt-in extras work here too, with the same
 //! determinism contract:
@@ -44,13 +47,17 @@
 use ims_bench::profile::{
     flush_counters, parse_profile_path, write_profile, ProfObserver,
 };
-use ims_bench::{node_budget_for_ms, parse_trace_dir, pool};
-use ims_core::{NullObserver, SchedConfig, SchedObserver, Scheduler};
+use ims_bench::{conflict_budget_for_ms, node_budget_for_ms, parse_trace_dir, pool};
+use ims_core::{
+    BackendKind, BackendSpec, IiBounds, MiiInfo, NullObserver, SchedConfig, SchedObserver,
+    Scheduler,
+};
 use ims_deps::{back_substitute, build_problem, BuildOptions};
 use ims_exact::{schedule_exact_observed, schedule_exact_profiled, ExactConfig};
 use ims_loopgen::corpus_of_size;
 use ims_machine::cydra;
 use ims_prof::{phase, MetricsRegistry, PhaseTimer};
+use ims_sat::{schedule_sat_observed, schedule_sat_profiled, SatConfig};
 use ims_trace::TraceWriter;
 
 /// The §4.3 BudgetRatio sweep, labeled `b1` … `b6` in the output.
@@ -110,9 +117,22 @@ fn main() {
         }
     }
 
+    // The gap is measured against a prover; `ims` (and portfolio specs,
+    // which include it) cannot certify optimality, so they are usage
+    // errors here, not silent downgrades.
+    let spec = pool::backend_or_exit(&args, BackendSpec::Leaf(BackendKind::Exact));
+    let backend = match spec.as_leaf() {
+        Some(kind @ (BackendKind::Exact | BackendKind::Sat)) => kind,
+        _ => {
+            eprintln!("optgap: --backend {spec} cannot prove optimality (expected exact or sat)");
+            std::process::exit(2);
+        }
+    };
+
     let corpus = corpus_of_size(seed, loops);
     let machine = cydra();
     let exact_config = ExactConfig::new().node_limit(node_budget_for_ms(deadline_ms));
+    let sat_config = SatConfig::new().conflict_limit(conflict_budget_for_ms(deadline_ms));
     let profiling = profile_path.is_some();
     let tracing = trace_dir.is_some();
 
@@ -135,12 +155,29 @@ fn main() {
             let problem = build_problem(&body, &machine, &BuildOptions::default());
             span_end(t, &mut reg);
 
-            let t = PhaseTimer::start(phase::WALL_EXACT);
-            let exact = match reg.as_mut() {
-                Some(r) => schedule_exact_profiled(&problem, &exact_config, &mut obs, &mut *r),
-                None => schedule_exact_observed(&problem, &exact_config, &mut obs),
-            }
-            .expect("corpus loops always schedule under the automatic II cap");
+            let t = PhaseTimer::start(match backend {
+                BackendKind::Sat => phase::WALL_SAT,
+                _ => phase::WALL_EXACT,
+            });
+            let (proof_mii, proof_bounds, proof_limit_hit, proof_work): (MiiInfo, IiBounds, bool, u64) =
+                match backend {
+                    BackendKind::Sat => {
+                        let out = match reg.as_mut() {
+                            Some(r) => schedule_sat_profiled(&problem, &sat_config, &mut obs, &mut *r),
+                            None => schedule_sat_observed(&problem, &sat_config, &mut obs),
+                        }
+                        .expect("corpus loops always schedule under the automatic II cap");
+                        (out.mii, out.bounds, out.limit_hit, out.conflicts)
+                    }
+                    _ => {
+                        let out = match reg.as_mut() {
+                            Some(r) => schedule_exact_profiled(&problem, &exact_config, &mut obs, &mut *r),
+                            None => schedule_exact_observed(&problem, &exact_config, &mut obs),
+                        }
+                        .expect("corpus loops always schedule under the automatic II cap");
+                        (out.mii, out.bounds, out.limit_hit, out.nodes)
+                    }
+                };
             span_end(t, &mut reg);
 
             let t = PhaseTimer::start(phase::WALL_SCHED);
@@ -171,11 +208,11 @@ fn main() {
 
             let row = Row {
                 ops: problem.num_ops(),
-                mii: exact.mii.mii,
-                exact_lb: exact.bounds.proved_lb,
-                exact_ub: exact.bounds.best_ub,
-                limit_hit: exact.limit_hit,
-                nodes: exact.nodes,
+                mii: proof_mii.mii,
+                exact_lb: proof_bounds.proved_lb,
+                exact_ub: proof_bounds.best_ub,
+                limit_hit: proof_limit_hit,
+                nodes: proof_work,
                 iis,
                 wall_ns: wall0.elapsed().as_nanos() as u64,
             };

@@ -44,6 +44,7 @@ use ims_core::{
 use ims_deps::{back_substitute, build_problem, BuildOptions};
 use ims_exact::{schedule_exact, ExactConfig};
 use ims_graph::sccs;
+use ims_sat::{schedule_sat, SatConfig};
 use ims_loopgen::{Corpus, CorpusLoop, Profile};
 use ims_machine::MachineModel;
 use ims_trace::TraceWriter;
@@ -68,6 +69,19 @@ pub const NODES_PER_MS: u64 = 500;
 /// unlimited — for 0).
 pub fn node_budget_for_ms(deadline_ms: u64) -> Option<u64> {
     (deadline_ms > 0).then(|| deadline_ms.saturating_mul(NODES_PER_MS))
+}
+
+/// [`NODES_PER_MS`]'s counterpart for the SAT backend: `--deadline-ms N`
+/// becomes a CDCL conflict budget of `N × CONFLICTS_PER_MS`. A conflict —
+/// analysis, clause learning, backjumping, and the propagation leading to
+/// it — costs ~20 µs in a release build on the default corpus, orders of
+/// magnitude more than a branch-and-bound node.
+pub const CONFLICTS_PER_MS: u64 = 50;
+
+/// The conflict budget equivalent of a `--deadline-ms` value (`None` —
+/// unlimited — for 0).
+pub fn conflict_budget_for_ms(deadline_ms: u64) -> Option<u64> {
+    (deadline_ms > 0).then(|| deadline_ms.saturating_mul(CONFLICTS_PER_MS))
 }
 
 /// What the exact backend proved about one loop (absent from
@@ -230,6 +244,43 @@ pub fn measure_loop_exact(
     m
 }
 
+/// Schedules one corpus loop with the **SAT** backend: the iterative
+/// scheduler provides the upper bound, then the CDCL encoding decides
+/// every smaller II under `config`'s conflict budget. `final_steps` /
+/// `total_steps` count CDCL conflicts, the Table 4 counters are zero,
+/// and [`LoopMeasurement::exact`] carries the proven bounds (with
+/// [`ExactInfo::nodes`] holding conflicts).
+///
+/// # Panics
+///
+/// Panics if the internal iterative run fails (impossible for well-formed
+/// corpus loops with the automatic II cap).
+pub fn measure_loop_sat(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    config: &SatConfig,
+) -> LoopMeasurement {
+    let body = back_substitute(&l.body, machine);
+    let problem = build_problem(&body, machine, &BuildOptions::default());
+    let t0 = std::time::Instant::now();
+    let out = schedule_sat(&problem, config)
+        .expect("corpus loops always schedule under the automatic II cap");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut m = finish_measurement(&problem, l, out.mii.res_mii, out.mii.rec_mii, out.mii.mii,
+        &out.schedule);
+    m.final_steps = out.conflicts;
+    m.total_steps = out.conflicts;
+    m.wall_ns = wall_ns;
+    m.exact = Some(ExactInfo {
+        proved_lb: out.bounds.proved_lb,
+        best_ub: out.bounds.best_ub,
+        nodes: out.conflicts,
+        limit_hit: out.limit_hit,
+    });
+    m
+}
+
 /// The backend-independent tail of a loop measurement: SCC statistics and
 /// the schedule-length lower bound, packaged with the schedule's
 /// quantities. Work counters are left zero for the caller to fill.
@@ -316,16 +367,17 @@ pub fn measure_corpus_threads(
 }
 
 /// [`measure_corpus_threads`] with a selectable backend. The iterative
-/// backend ignores `node_limit`; the exact backend ignores nothing —
-/// `budget_ratio` configures its internal heuristic run and `node_limit`
-/// its branch-and-bound budget (deterministic, unlike a wall-clock
+/// backend ignores `work_limit`; the exact backends ignore nothing —
+/// `budget_ratio` configures their internal heuristic run and
+/// `work_limit` their search budget (branch-and-bound nodes for `exact`,
+/// CDCL conflicts for `sat` — both deterministic, unlike a wall-clock
 /// deadline, so stdout stays byte-identical across thread counts).
 pub fn measure_corpus_backend(
     corpus: &Corpus,
     machine: &MachineModel,
     backend: BackendKind,
     budget_ratio: f64,
-    node_limit: Option<u64>,
+    work_limit: Option<u64>,
     threads: usize,
 ) -> Vec<LoopMeasurement> {
     match backend {
@@ -333,9 +385,17 @@ pub fn measure_corpus_backend(
         BackendKind::Exact => {
             let config = ExactConfig::new()
                 .heuristic(SchedConfig::with_budget_ratio(budget_ratio))
-                .node_limit(node_limit);
+                .node_limit(work_limit);
             pool::par_map(&corpus.loops, threads, |_, l| {
                 measure_loop_exact(l, machine, &config)
+            })
+        }
+        BackendKind::Sat => {
+            let config = SatConfig::new()
+                .heuristic(SchedConfig::with_budget_ratio(budget_ratio))
+                .conflict_limit(work_limit);
+            pool::par_map(&corpus.loops, threads, |_, l| {
+                measure_loop_sat(l, machine, &config)
             })
         }
     }

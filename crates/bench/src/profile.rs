@@ -38,6 +38,7 @@ use ims_core::{
 use ims_deps::{back_substitute, build_problem, BuildOptions};
 use ims_exact::{schedule_exact_profiled, ExactConfig};
 use ims_graph::NodeId;
+use ims_sat::{schedule_sat_profiled, SatConfig};
 use ims_loopgen::{Corpus, CorpusLoop};
 use ims_machine::MachineModel;
 use ims_prof::{phase, snapshot, MetricsRegistry, PhaseTimer};
@@ -227,6 +228,51 @@ pub fn measure_loop_exact_profiled<O: SchedObserver>(
     m
 }
 
+/// [`crate::measure_loop_sat`] plus a full phase profile: the CDCL
+/// search reports its `sat.*` statistics through
+/// [`schedule_sat_profiled`], and the loop is additionally lowered and
+/// simulated like the iterative profiled path.
+pub fn measure_loop_sat_profiled<O: SchedObserver>(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    config: &SatConfig,
+    observer: &mut O,
+    reg: &mut MetricsRegistry,
+) -> LoopMeasurement {
+    let whole = PhaseTimer::start(phase::WALL_LOOP);
+
+    let t = PhaseTimer::start(phase::WALL_BUILD);
+    let body = back_substitute(&l.body, machine);
+    let problem = build_problem(&body, machine, &BuildOptions::default());
+    t.finish(reg);
+
+    let t = PhaseTimer::start(phase::WALL_SAT);
+    let t0 = std::time::Instant::now();
+    let out = schedule_sat_profiled(&problem, config, observer, &mut *reg)
+        .expect("corpus loops always schedule under the automatic II cap");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    t.finish(reg);
+
+    reg.add(phase::CORPUS_LOOPS, 1);
+    reg.add(phase::CORPUS_OPS, problem.num_ops() as u64);
+
+    let mut m = finish_measurement(&problem, l, out.mii.res_mii, out.mii.rec_mii, out.mii.mii,
+        &out.schedule);
+    m.final_steps = out.conflicts;
+    m.total_steps = out.conflicts;
+    m.wall_ns = wall_ns;
+    m.exact = Some(ExactInfo {
+        proved_lb: out.bounds.proved_lb,
+        best_ub: out.bounds.best_ub,
+        nodes: out.conflicts,
+        limit_hit: out.limit_hit,
+    });
+
+    profile_backend_tail(&body, &problem, &out.schedule, reg);
+    whole.finish(reg);
+    m
+}
+
 /// [`crate::measure_corpus_backend`] (+ optional per-loop traces, as in
 /// [`crate::measure_corpus_traced`]) with a merged [`MetricsRegistry`]
 /// profile of the whole run.
@@ -245,7 +291,7 @@ pub fn measure_corpus_profiled(
     machine: &MachineModel,
     backend: BackendKind,
     budget_ratio: f64,
-    node_limit: Option<u64>,
+    work_limit: Option<u64>,
     threads: usize,
     trace_dir: Option<&Path>,
     prefix: &str,
@@ -255,7 +301,10 @@ pub fn measure_corpus_profiled(
     }
     let exact_config = ExactConfig::new()
         .heuristic(SchedConfig::with_budget_ratio(budget_ratio))
-        .node_limit(node_limit);
+        .node_limit(work_limit);
+    let sat_config = SatConfig::new()
+        .heuristic(SchedConfig::with_budget_ratio(budget_ratio))
+        .conflict_limit(work_limit);
 
     let per_loop = pool::par_map(&corpus.loops, threads, |_, l| {
         let mut reg = MetricsRegistry::new();
@@ -269,6 +318,9 @@ pub fn measure_corpus_profiled(
             BackendKind::Ims => measure_loop_profiled(l, machine, budget_ratio, &mut obs, &mut reg),
             BackendKind::Exact => {
                 measure_loop_exact_profiled(l, machine, &exact_config, &mut obs, &mut reg)
+            }
+            BackendKind::Sat => {
+                measure_loop_sat_profiled(l, machine, &sat_config, &mut obs, &mut reg)
             }
         };
         (m, tracer.map(TraceWriter::into_string), reg)

@@ -188,6 +188,56 @@ fn corpus_accepts_wellformed_threads() {
 }
 
 #[test]
+fn drivers_reject_malformed_backend_values() {
+    // A malformed `--backend` is the same hard error as a malformed
+    // `--threads`: exit 2 with a usage line naming the flag, never a
+    // silent fallback to the default backend. `corpus` and `optgap` both
+    // funnel into `pool::backend_or_exit`.
+    for bin in [env!("CARGO_BIN_EXE_corpus"), env!("CARGO_BIN_EXE_optgap")] {
+        for args in [
+            &["--backend", "magic"][..],
+            &["--backend=portfolio(ims,"][..],
+            &["--backend", "portfolio()"][..],
+            &["--backend"][..], // value missing entirely
+        ] {
+            let out = run(bin, args);
+            assert_eq!(code(&out), 2, "{bin} {args:?}");
+            let err = stderr(&out);
+            assert!(err.contains("usage:"), "{bin} {args:?} -> {err}");
+            assert!(err.contains("--backend"), "{bin} {args:?} -> {err}");
+            assert!(out.stdout.is_empty(), "no partial output on a bad flag");
+        }
+    }
+
+    // Well-formed specs can still be wrong for a particular driver:
+    // `corpus` measures one backend per loop (no portfolios), and
+    // `optgap` needs a prover (no `ims`, alone or inside a portfolio).
+    let out = run(
+        env!("CARGO_BIN_EXE_corpus"),
+        &["--backend", "portfolio(ims,exact)", "--loops", "1"],
+    );
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("leaf"), "{}", stderr(&out));
+
+    for spec in ["ims", "portfolio(ims,sat)"] {
+        let out = run(env!("CARGO_BIN_EXE_optgap"), &["--backend", spec, "--loops", "1"]);
+        assert_eq!(code(&out), 2, "--backend {spec}: {}", stderr(&out));
+        assert!(stderr(&out).contains("prove"), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn corpus_accepts_the_sat_backend() {
+    let out = run(
+        env!("CARGO_BIN_EXE_corpus"),
+        &["--backend", "sat", "--loops", "1", "--threads", "1"],
+    );
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"proved_lb\":"), "sat lines carry bounds: {text}");
+}
+
+#[test]
 fn profile_report_renders_and_rejects_bad_input() {
     let dir = scratch("report");
     let snap = write_snapshot(&dir, "snap.json", &registry(1000, 10_000_000));

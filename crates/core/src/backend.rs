@@ -25,12 +25,18 @@ use crate::mii::MiiInfo;
 use crate::observe::{NullObserver, SchedObserver};
 use crate::problem::Problem;
 use crate::sched::{modulo_schedule_observed, SchedConfig, Schedule, ScheduleError};
+use crate::spec::BackendSpec;
 
-/// Which scheduling backend produced an event stream or outcome.
+/// Which *leaf* scheduling backend produced an event stream or outcome.
 ///
-/// Carried by the `attempt_start` trace events (via
-/// [`SchedObserver::backend`]) so traces from different backends are
-/// distinguishable after the fact.
+/// This is the stable-name enum of the wire format and the trace files:
+/// every concrete scheduler has exactly one `BackendKind`, carried by the
+/// `attempt_start` trace events (via [`SchedObserver::backend`]) so
+/// traces from different backends are distinguishable after the fact.
+/// Composite selections — `portfolio(a,b,...)` — are described by
+/// [`BackendSpec`], which is what CLI flags and the service wire format
+/// parse; a spec resolves to leaf backends through a
+/// [`BackendRegistry`](crate::BackendRegistry).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// The paper's iterative modulo scheduler.
@@ -38,24 +44,38 @@ pub enum BackendKind {
     Ims,
     /// The exact branch-and-bound scheduler (`ims-exact`).
     Exact,
+    /// The CDCL SAT-solver backend (`ims-sat`).
+    Sat,
 }
 
 impl BackendKind {
+    /// Every leaf backend, in registry/display order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Ims, BackendKind::Exact, BackendKind::Sat];
+
     /// The stable lowercase name used on the wire and in CLI flags.
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Ims => "ims",
             BackendKind::Exact => "exact",
+            BackendKind::Sat => "sat",
         }
     }
 
+    /// Resolves a stable leaf name produced by [`BackendKind::name`].
+    /// Leaf names only; full backend selections (including
+    /// `portfolio(...)`) parse via [`BackendSpec`]'s `FromStr`.
+    pub fn from_name(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
     /// Parses a CLI/wire name produced by [`BackendKind::name`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "parse a full `BackendSpec` (FromStr) instead; use \
+                `BackendKind::from_name` where only a leaf name is legal"
+    )]
     pub fn parse(s: &str) -> Option<BackendKind> {
-        match s {
-            "ims" => Some(BackendKind::Ims),
-            "exact" => Some(BackendKind::Exact),
-            _ => None,
-        }
+        BackendKind::from_name(s)
     }
 }
 
@@ -126,12 +146,24 @@ impl BackendOutcome {
 /// [`Schedule`] plus [`IiBounds`] on the true minimum II.
 ///
 /// The trait is object-safe so harness code can pick a backend at
-/// runtime (`--backend {ims,exact}`); both implementations also expose
-/// richer inherent `*_observed` entry points for callers that want
-/// scheduler events.
+/// runtime (`--backend SPEC`, resolved through a
+/// [`BackendRegistry`](crate::BackendRegistry)); the leaf
+/// implementations also expose richer generic inherent `*_observed`
+/// entry points for callers that know the concrete type.
 pub trait SchedulerBackend {
     /// Which backend this is (stable name via [`BackendKind::name`]).
+    ///
+    /// Composite backends report a representative leaf (the portfolio
+    /// reports its first member); [`SchedulerBackend::spec`] carries the
+    /// full identity.
     fn kind(&self) -> BackendKind;
+
+    /// The full selection this backend implements. Leaves return
+    /// `BackendSpec::Leaf(self.kind())` (the default); the portfolio
+    /// returns its member list.
+    fn spec(&self) -> BackendSpec {
+        BackendSpec::Leaf(self.kind())
+    }
 
     /// Schedules `problem`, returning the best schedule found and the II
     /// bounds it proves.
@@ -142,6 +174,24 @@ pub trait SchedulerBackend {
     /// [`ScheduleError`], and the exact backend can only fail if its
     /// internal heuristic run (which provides the upper bound) fails.
     fn schedule(&self, problem: &Problem<'_>) -> Result<BackendOutcome, ScheduleError>;
+
+    /// [`SchedulerBackend::schedule`] with scheduler events reported to
+    /// `observer` — the object-safe counterpart of the leaves' generic
+    /// inherent `schedule_observed` methods (which it forwards to via
+    /// the `&mut O` blanket [`SchedObserver`] impl). The default
+    /// ignores the observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`SchedulerBackend::schedule`].
+    fn schedule_observed_dyn(
+        &self,
+        problem: &Problem<'_>,
+        observer: &mut dyn SchedObserver,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let _ = observer;
+        self.schedule(problem)
+    }
 }
 
 /// The paper's iterative modulo scheduler as a [`SchedulerBackend`].
@@ -215,6 +265,15 @@ impl SchedulerBackend for IterativeBackend {
     fn schedule(&self, problem: &Problem<'_>) -> Result<BackendOutcome, ScheduleError> {
         self.schedule_observed(problem, &mut NullObserver)
     }
+
+    fn schedule_observed_dyn(
+        &self,
+        problem: &Problem<'_>,
+        observer: &mut dyn SchedObserver,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let mut observer = observer;
+        self.schedule_observed(problem, &mut observer)
+    }
 }
 
 #[cfg(test)]
@@ -228,11 +287,15 @@ mod tests {
 
     #[test]
     fn backend_kind_names_round_trip() {
-        for kind in [BackendKind::Ims, BackendKind::Exact] {
-            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
             assert_eq!(kind.to_string(), kind.name());
         }
-        assert_eq!(BackendKind::parse("simulated-annealing"), None);
+        assert_eq!(BackendKind::from_name("simulated-annealing"), None);
+        #[allow(deprecated)]
+        {
+            assert_eq!(BackendKind::parse("exact"), Some(BackendKind::Exact));
+        }
     }
 
     #[test]

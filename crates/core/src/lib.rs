@@ -24,11 +24,15 @@
 //!   for the default [`NullObserver`] — the `ims-trace` crate builds
 //!   JSON-lines tracing and metrics aggregation on top;
 //! * a **pluggable backend seam** ([`SchedulerBackend`]): the iterative
-//!   scheduler ([`IterativeBackend`]) and the exact branch-and-bound
-//!   scheduler in `ims-exact` sit behind one object-safe trait, both
-//!   returning the same [`Schedule`] plus [`IiBounds`]
-//!   on the true minimum II, so the harness can measure the heuristic's
-//!   optimality gap;
+//!   scheduler ([`IterativeBackend`]), the exact branch-and-bound
+//!   scheduler in `ims-exact`, and the CDCL SAT scheduler in `ims-sat`
+//!   sit behind one object-safe trait, all returning the same
+//!   [`Schedule`] plus [`IiBounds`] on the true minimum II, so the
+//!   harness can measure the heuristic's optimality gap. Backends are
+//!   string-addressable: a [`BackendSpec`] (`ims`, `exact`, `sat`,
+//!   `portfolio(a,b,...)`) resolves through an open [`BackendRegistry`]
+//!   to a boxed backend — the portfolio form races members with a
+//!   deterministic winner rule ([`PortfolioBackend`]);
 //! * the **acyclic list scheduler** ([`list_schedule`]) the paper uses both
 //!   as the schedule-length lower bound and as the cost yardstick;
 //! * an independent **schedule validator** ([`validate_schedule`]) that
@@ -70,11 +74,18 @@ mod mrt;
 mod observe;
 mod priority;
 mod problem;
+mod registry;
 mod sched;
+mod spec;
 mod validate;
 
 pub use backend::{BackendKind, BackendOutcome, IiBounds, IterativeBackend, SchedulerBackend};
 pub use builder::Scheduler;
+pub use registry::{
+    BackendParams, BackendRegistry, BackendRunError, BoxedBackend, PortfolioBackend,
+    PortfolioReport, ResolveError,
+};
+pub use spec::{BackendSpec, ParseBackendError};
 pub use counters::Counters;
 pub use list_sched::{list_schedule, ListSchedule};
 pub use mii::{compute_mii, rec_mii, rec_mii_by_circuits, res_mii, MiiInfo};

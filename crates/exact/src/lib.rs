@@ -52,8 +52,9 @@
 use std::time::{Duration, Instant};
 
 use ims_core::{
-    modulo_schedule, BackendKind, BackendOutcome, IiBounds, MiiInfo, NullObserver, Problem,
-    SchedConfig, SchedObserver, Schedule, ScheduleError, SchedulerBackend,
+    modulo_schedule, BackendKind, BackendOutcome, BackendParams, BackendRegistry, IiBounds,
+    MiiInfo, NullObserver, Problem, SchedConfig, SchedObserver, Schedule, ScheduleError,
+    SchedulerBackend,
 };
 use ims_prof::{phase, NullSink, ProfSink};
 
@@ -348,6 +349,29 @@ impl SchedulerBackend for ExactBackend {
     fn schedule(&self, problem: &Problem<'_>) -> Result<BackendOutcome, ScheduleError> {
         self.schedule_observed(problem, &mut NullObserver)
     }
+
+    fn schedule_observed_dyn(
+        &self,
+        problem: &Problem<'_>,
+        observer: &mut dyn SchedObserver,
+    ) -> Result<BackendOutcome, ScheduleError> {
+        let mut observer = observer;
+        self.schedule_observed(problem, &mut observer)
+    }
+}
+
+/// Registers the branch-and-bound backend under [`BackendKind::Exact`].
+/// The factory maps [`BackendParams::sched`] to the heuristic
+/// configuration and [`BackendParams::node_limit`] (when set) to the
+/// node budget.
+pub fn register(reg: &mut BackendRegistry) {
+    reg.register(BackendKind::Exact, |params: &BackendParams| {
+        let mut config = ExactConfig::new().heuristic(params.sched.clone());
+        if params.node_limit.is_some() {
+            config = config.node_limit(params.node_limit);
+        }
+        Box::new(ExactBackend::new(config))
+    });
 }
 
 #[cfg(test)]

@@ -81,6 +81,36 @@ pub const EXACT_IIS_INFEASIBLE: &str = "exact.iis.infeasible";
 /// Searches aborted by the node budget or deadline.
 pub const EXACT_LIMIT_HITS: &str = "exact.limit.hits";
 
+// ---- exact SAT backend (ims-sat) ----
+/// CNF variables allocated across all per-II encodings.
+pub const SAT_VARS: &str = "sat.vars";
+/// CNF clauses added across all per-II encodings (original, not learned).
+pub const SAT_CLAUSES: &str = "sat.clauses";
+/// CDCL conflicts analyzed.
+pub const SAT_CONFLICTS: &str = "sat.conflicts";
+/// CDCL decisions made.
+pub const SAT_DECISIONS: &str = "sat.decisions";
+/// Unit propagations performed.
+pub const SAT_PROPAGATIONS: &str = "sat.propagations";
+/// Solver restarts (Luby schedule).
+pub const SAT_RESTARTS: &str = "sat.restarts";
+/// Candidate IIs decided by the SAT backend.
+pub const SAT_IIS_SEARCHED: &str = "sat.iis.searched";
+/// Candidate IIs the SAT backend proved infeasible.
+pub const SAT_IIS_INFEASIBLE: &str = "sat.iis.infeasible";
+/// Decisions aborted by the conflict/clause/slot caps.
+pub const SAT_LIMIT_HITS: &str = "sat.limit.hits";
+
+// ---- backend portfolio (ims-core) ----
+/// Portfolio races run (one per scheduled problem).
+pub const PORTFOLIO_RUNS: &str = "portfolio.runs";
+/// Races won by the iterative backend (lowest II, ties by member order).
+pub const PORTFOLIO_WINS_IMS: &str = "portfolio.wins.ims";
+/// Races won by the branch-and-bound backend.
+pub const PORTFOLIO_WINS_EXACT: &str = "portfolio.wins.exact";
+/// Races won by the SAT backend.
+pub const PORTFOLIO_WINS_SAT: &str = "portfolio.wins.sat";
+
 // ---- code generation (ims-codegen) ----
 /// Instructions emitted (prologue + unrolled kernel + coda).
 pub const CODEGEN_INSTS: &str = "codegen.insts";
@@ -131,6 +161,8 @@ pub const WALL_BUILD: &str = "build";
 pub const WALL_SCHED: &str = "sched";
 /// Exact branch-and-bound scheduling, per loop.
 pub const WALL_EXACT: &str = "exact";
+/// Exact SAT scheduling, per loop.
+pub const WALL_SAT: &str = "sat";
 /// Lifetime analysis + MVE code generation, per loop.
 pub const WALL_CODEGEN: &str = "codegen";
 /// Overlapped VLIW simulation, per loop.
@@ -160,6 +192,19 @@ pub const REGISTRY: &[PhaseDesc] = &[
     PhaseDesc { name: EXACT_IIS_SEARCHED, kind: PhaseKind::Counter, what: "candidate IIs searched exhaustively" },
     PhaseDesc { name: EXACT_IIS_INFEASIBLE, kind: PhaseKind::Counter, what: "candidate IIs proven infeasible" },
     PhaseDesc { name: EXACT_LIMIT_HITS, kind: PhaseKind::Counter, what: "searches aborted by budget or deadline" },
+    PhaseDesc { name: SAT_VARS, kind: PhaseKind::Counter, what: "CNF variables allocated (all per-II encodings)" },
+    PhaseDesc { name: SAT_CLAUSES, kind: PhaseKind::Counter, what: "CNF clauses added (original, not learned)" },
+    PhaseDesc { name: SAT_CONFLICTS, kind: PhaseKind::Counter, what: "CDCL conflicts analyzed" },
+    PhaseDesc { name: SAT_DECISIONS, kind: PhaseKind::Counter, what: "CDCL decisions made" },
+    PhaseDesc { name: SAT_PROPAGATIONS, kind: PhaseKind::Counter, what: "unit propagations performed" },
+    PhaseDesc { name: SAT_RESTARTS, kind: PhaseKind::Counter, what: "solver restarts (Luby schedule)" },
+    PhaseDesc { name: SAT_IIS_SEARCHED, kind: PhaseKind::Counter, what: "candidate IIs decided by SAT" },
+    PhaseDesc { name: SAT_IIS_INFEASIBLE, kind: PhaseKind::Counter, what: "candidate IIs proven infeasible by SAT" },
+    PhaseDesc { name: SAT_LIMIT_HITS, kind: PhaseKind::Counter, what: "SAT decisions aborted by conflict/clause/slot caps" },
+    PhaseDesc { name: PORTFOLIO_RUNS, kind: PhaseKind::Counter, what: "portfolio races run" },
+    PhaseDesc { name: PORTFOLIO_WINS_IMS, kind: PhaseKind::Counter, what: "portfolio races won by the iterative backend" },
+    PhaseDesc { name: PORTFOLIO_WINS_EXACT, kind: PhaseKind::Counter, what: "portfolio races won by branch-and-bound" },
+    PhaseDesc { name: PORTFOLIO_WINS_SAT, kind: PhaseKind::Counter, what: "portfolio races won by the SAT backend" },
     PhaseDesc { name: CODEGEN_INSTS, kind: PhaseKind::Counter, what: "instructions emitted (prologue+kernel+coda)" },
     PhaseDesc { name: CODEGEN_UNROLL, kind: PhaseKind::Counter, what: "kernel unroll factors (summed)" },
     PhaseDesc { name: CODEGEN_STAGES, kind: PhaseKind::Counter, what: "kernel stage counts (summed)" },
@@ -179,6 +224,7 @@ pub const REGISTRY: &[PhaseDesc] = &[
     PhaseDesc { name: WALL_BUILD, kind: PhaseKind::Wall, what: "back-substitution + graph construction" },
     PhaseDesc { name: WALL_SCHED, kind: PhaseKind::Wall, what: "iterative scheduling" },
     PhaseDesc { name: WALL_EXACT, kind: PhaseKind::Wall, what: "exact branch-and-bound scheduling" },
+    PhaseDesc { name: WALL_SAT, kind: PhaseKind::Wall, what: "exact SAT scheduling" },
     PhaseDesc { name: WALL_CODEGEN, kind: PhaseKind::Wall, what: "lifetimes + MVE code generation" },
     PhaseDesc { name: WALL_VLIW, kind: PhaseKind::Wall, what: "overlapped VLIW simulation" },
     PhaseDesc { name: WALL_LOOP, kind: PhaseKind::Wall, what: "whole per-loop pipeline" },

@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn cancel_records_nothing() {
-        let mut reg = MetricsRegistry::new();
+        let reg = MetricsRegistry::new();
         PhaseTimer::start("p").cancel();
         assert!(reg.wall("p").is_none());
         let _ = reg;

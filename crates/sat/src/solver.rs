@@ -1,0 +1,727 @@
+//! A small, deterministic, std-only CDCL SAT solver.
+//!
+//! This is the MiniSat recipe at minimum viable size: two-watched-literal
+//! unit propagation, first-UIP conflict analysis with backjumping, VSIDS
+//! variable activities, Luby-series restarts, and phase saving. Three
+//! deliberate omissions keep it small: no learned-clause deletion (the
+//! conflict budget bounds growth instead), no clause minimization, and no
+//! preprocessing.
+//!
+//! # Determinism contract
+//!
+//! Given the same clauses added in the same order, every run makes the
+//! same decisions and returns the same model/stats, on any thread, at
+//! any parallelism. The sources of nondeterminism in off-the-shelf
+//! solvers are all pinned here: decision order is VSIDS activity with
+//! ties broken by *smallest variable id* (a total order), the initial
+//! phase is always negative, saved phases depend only on the search
+//! itself, and restarts fire on exact conflict counts. No randomness,
+//! no time-based heuristics.
+//!
+//! # Usage
+//!
+//! A [`Solver`] is single-shot: create, [`add_clause`](Solver::add_clause)
+//! everything, [`solve`](Solver::solve) once.
+
+/// A literal: variable `var` (0-based) either positive or negated.
+///
+/// Encoded as `2·var + neg` so literals index watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: u32) -> Lit {
+        Lit(var << 1)
+    }
+
+    /// The negated literal of `var`.
+    pub fn neg(var: u32) -> Lit {
+        Lit(var << 1 | 1)
+    }
+
+    /// This literal's variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether this is the negated literal.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// What [`Solver::solve`] decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable; the model assigns every variable (`model[v]`).
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before a decision was reached.
+    Unknown,
+}
+
+/// Deterministic work/size counters for one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts hit (equals learned clauses; the budget unit).
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated (trail pushes from clauses).
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+const RESTART_BASE: u64 = 128;
+
+/// `x`-th term of the Luby restart series (1,1,2,1,1,2,4,...): find the
+/// finite subsequence containing index `x`, then recurse into it.
+fn luby(mut x: u64) -> u64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Box<[Lit]>,
+}
+
+/// Activity-ordered max-heap of unassigned variables, ties to the
+/// smallest variable id (the determinism linchpin).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    /// `pos[v]` = index in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarOrder {
+    fn better(a: u32, b: u32, activity: &[f64]) -> bool {
+        let (aa, ab) = (activity[a as usize], activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn insert(&mut self, v: u32, activity: &[f64]) {
+        if self.pos[v as usize] != NOT_IN_HEAP {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: u32, activity: &[f64]) {
+        let p = self.pos[v as usize];
+        if p != NOT_IN_HEAP {
+            self.sift_up(p, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::better(self.heap[i], self.heap[parent], activity) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && Self::better(self.heap[l], self.heap[best], activity) {
+                best = l;
+            }
+            if r < self.heap.len() && Self::better(self.heap[r], self.heap[best], activity) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i;
+        self.pos[self.heap[j] as usize] = j;
+    }
+}
+
+/// The CDCL solver. See the module docs for scope and determinism.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.index()]` = clauses currently watching `lit`.
+    watches: Vec<Vec<u32>>,
+    /// Per variable: `None` unassigned, `Some(value)` otherwise.
+    assign: Vec<Option<bool>>,
+    /// Saved phase per variable; initial phase is negative.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarOrder::default(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable and returns its id.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(None);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.pos.push(NOT_IN_HEAP);
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem clauses added (units and tautologies excluded;
+    /// learned clauses not counted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Work/size counters of the last [`solve`](Solver::solve).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var() as usize].map(|v| v != l.is_neg())
+    }
+
+    /// Adds a clause (must be called before [`solve`](Solver::solve)).
+    /// Sorts and dedups literals; drops tautologies; an empty clause
+    /// makes the instance trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if !self.ok {
+            return;
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort();
+        ls.dedup();
+        // After sorting, x and ¬x are adjacent (indices 2v, 2v+1).
+        if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return; // tautology
+        }
+        match ls.len() {
+            0 => self.ok = false,
+            1 => {
+                match self.value(ls[0]) {
+                    Some(false) => self.ok = false,
+                    Some(true) => {}
+                    None => self.enqueue(ls[0], NO_REASON),
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[ls[0].index()].push(ci);
+                self.watches[ls[1].index()].push(ci);
+                self.clauses.push(Clause {
+                    lits: ls.into_boxed_slice(),
+                });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var() as usize;
+        debug_assert!(self.assign[v].is_none());
+        self.assign[v] = Some(!l.is_neg());
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Exhausts unit propagation; returns the conflicting clause index.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                // Normalize: the false literal sits at position 1.
+                let lits = &mut self.clauses[ci as usize].lits;
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+                let first = lits[0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Find a replacement watch among lits[2..].
+                let lits = &self.clauses[ci as usize].lits;
+                let replacement = (2..lits.len()).find(|&k| self.value(lits[k]) != Some(false));
+                match replacement {
+                    Some(k) => {
+                        let lits = &mut self.clauses[ci as usize].lits;
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
+                        self.watches[new_watch.index()].push(ci);
+                        watchers.swap_remove(i);
+                        // swap_remove keeps `watchers` order-dependent
+                        // only on clause content — deterministic.
+                    }
+                    None if self.value(first) == Some(false) => {
+                        // Conflict: restore the remaining watchers.
+                        self.watches[false_lit.index()] = watchers;
+                        self.qhead = self.trail.len();
+                        return Some(ci);
+                    }
+                    None => {
+                        self.stats.propagations += 1;
+                        self.enqueue(first, ci);
+                        i += 1;
+                    }
+                }
+            }
+            self.watches[false_lit.index()] = watchers;
+        }
+        None
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the level to backjump to.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for the UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut clause = confl;
+        let mut trail_index = self.trail.len();
+
+        loop {
+            let lits = &self.clauses[clause as usize].lits;
+            // Skip lits[0] when it is the literal being resolved on.
+            let start = usize::from(p.is_some());
+            let to_bump: Vec<u32> = lits[start..].iter().map(|q| q.var()).collect();
+            for (k, &q) in lits.iter().enumerate() {
+                if k < start {
+                    continue;
+                }
+                let v = q.var() as usize;
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                self.seen[v] = true;
+                if self.level[v] == self.decision_level() {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            for v in to_bump {
+                self.bump(v);
+            }
+
+            // Walk the trail to the next marked literal.
+            loop {
+                trail_index -= 1;
+                if self.seen[self.trail[trail_index].var() as usize] {
+                    break;
+                }
+            }
+            let q = self.trail[trail_index];
+            let v = q.var() as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = !q; // the first UIP, asserted by the clause
+                break;
+            }
+            clause = self.reason[v];
+            debug_assert_ne!(clause, NO_REASON, "non-UIP marked lit has a reason");
+            p = Some(q);
+        }
+
+        for l in &learned[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+
+        // Backjump level: the highest level among the non-asserting lits;
+        // move that literal to index 1 so it is watched after attach.
+        let mut back_level = 0;
+        if learned.len() > 1 {
+            let mut max_i = 1;
+            for (i, l) in learned.iter().enumerate().skip(1) {
+                if self.level[l.var() as usize] > self.level[learned[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            back_level = self.level[learned[1].var() as usize];
+        }
+        (learned, back_level)
+    }
+
+    fn bump(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail above limit");
+                let v = l.var();
+                self.assign[v as usize] = None;
+                self.reason[v as usize] = NO_REASON;
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    /// Attaches a learned clause and enqueues its asserting literal.
+    fn learn(&mut self, learned: Vec<Lit>) {
+        if learned.len() == 1 {
+            self.enqueue(learned[0], NO_REASON);
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watches[learned[0].index()].push(ci);
+        self.watches[learned[1].index()].push(ci);
+        let first = learned[0];
+        self.clauses.push(Clause {
+            lits: learned.into_boxed_slice(),
+        });
+        self.enqueue(first, ci);
+    }
+
+    /// Decides satisfiability, giving up after `conflict_budget`
+    /// conflicts. Single-shot: call once per solver.
+    pub fn solve(&mut self, conflict_budget: u64) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        let mut restart_num = 0u64;
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = luby(restart_num) * RESTART_BASE;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SolveResult::Unsat;
+                }
+                let (learned, back_level) = self.analyze(confl);
+                self.backtrack(back_level);
+                self.learn(learned);
+                self.var_inc /= 0.95;
+                if self.stats.conflicts >= conflict_budget {
+                    return SolveResult::Unknown;
+                }
+            } else {
+                // Restart at the decision point, so the last conflict's
+                // asserting literal has already propagated (the classic
+                // progress guarantee: no conflict repeats immediately).
+                if conflicts_since_restart >= restart_limit && self.decision_level() > 0 {
+                    self.stats.restarts += 1;
+                    restart_num += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = luby(restart_num) * RESTART_BASE;
+                    self.backtrack(0);
+                    continue;
+                }
+                // Pick the highest-activity unassigned variable.
+                let v = loop {
+                    match self.order.pop(&self.activity) {
+                        Some(v) if self.assign[v as usize].is_none() => break Some(v),
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                };
+                let Some(v) = v else {
+                    let model = self
+                        .assign
+                        .iter()
+                        .map(|a| a.expect("all vars assigned at SAT"))
+                        .collect();
+                    return SolveResult::Sat(model);
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = if self.phase[v as usize] {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                };
+                self.enqueue(lit, NO_REASON);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nvars(s: &mut Solver, n: u32) -> Vec<u32> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn luby_series_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_instances() {
+        // Empty formula: SAT with the empty model.
+        assert_eq!(Solver::new().solve(u64::MAX), SolveResult::Sat(vec![]));
+
+        // x ∧ ¬x: UNSAT via conflicting units.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.add_clause(&[Lit::pos(x)]);
+        s.add_clause(&[Lit::neg(x)]);
+        assert_eq!(s.solve(u64::MAX), SolveResult::Unsat);
+
+        // (x ∨ y) ∧ ¬x forces y.
+        let mut s = Solver::new();
+        let v = nvars(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        match s.solve(u64::MAX) {
+            SolveResult::Sat(m) => {
+                assert!(!m[0] && m[1]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+
+        // A tautology is dropped, not misread as a constraint.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        s.add_clause(&[Lit::pos(x), Lit::neg(x)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(matches!(s.solve(u64::MAX), SolveResult::Sat(_)));
+    }
+
+    /// `n+1` pigeons in `n` holes: the classic resolution-hard UNSAT
+    /// family. n=5 forces real conflict-clause learning (36 variables,
+    /// hundreds of conflicts) while staying fast.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let var = |p: usize, h: usize| (p * n + h) as u32;
+        for _ in 0..(n + 1) * n {
+            s.new_var();
+        }
+        for p in 0..=n {
+            let lits: Vec<Lit> = (0..n).map(|h| Lit::pos(var(p, h))).collect();
+            s.add_clause(&lits);
+        }
+        for h in 0..n {
+            for p1 in 0..=n {
+                for p2 in (p1 + 1)..=n {
+                    s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat_and_deterministic() {
+        let mut a = pigeonhole(5);
+        assert_eq!(a.solve(1 << 20), SolveResult::Unsat);
+        assert!(a.stats().conflicts > 50, "PHP(5) needs learning: {:?}", a.stats());
+
+        // Bit-for-bit reproducible stats on a rerun.
+        let mut b = pigeonhole(5);
+        assert_eq!(b.solve(1 << 20), SolveResult::Unsat);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        let mut s = pigeonhole(7);
+        assert_eq!(s.solve(10), SolveResult::Unknown);
+        assert_eq!(s.stats().conflicts, 10);
+    }
+
+    /// Seed-replayed random 3-CNF, answer-checked against brute force.
+    /// Small enough to enumerate (12 vars), dense enough (clause/var
+    /// ratio swept through the ~4.26 phase transition) that both SAT and
+    /// UNSAT instances occur and learning actually fires.
+    #[test]
+    fn random_cnf_agrees_with_brute_force() {
+        const VARS: u32 = 12;
+        let mut sat_seen = 0;
+        let mut unsat_seen = 0;
+        for seed in 0..120u64 {
+            let mut rng = ims_testkit::Xoshiro256::seed_from_u64(0xC4F5_0000 + seed);
+            let num_clauses = 36 + (seed % 30) as usize; // ratio 3.0 ..= 5.4
+            let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(num_clauses);
+            for _ in 0..num_clauses {
+                let mut c = Vec::with_capacity(3);
+                for _ in 0..3 {
+                    let r = rng.next_u64();
+                    let v = (r % VARS as u64) as u32;
+                    c.push(if r & (1 << 32) == 0 { Lit::pos(v) } else { Lit::neg(v) });
+                }
+                clauses.push(c);
+            }
+
+            let brute = (0u32..1 << VARS).any(|m| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|l| (m >> l.var()) & 1 == u32::from(!l.is_neg()))
+                })
+            });
+
+            let mut s = Solver::new();
+            nvars(&mut s, VARS);
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            match s.solve(u64::MAX) {
+                SolveResult::Sat(model) => {
+                    assert!(brute, "seed {seed}: solver SAT but brute force says UNSAT");
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|l| model[l.var() as usize] != l.is_neg()),
+                            "seed {seed}: model violates {c:?}"
+                        );
+                    }
+                    sat_seen += 1;
+                }
+                SolveResult::Unsat => {
+                    assert!(!brute, "seed {seed}: solver UNSAT but brute force found a model");
+                    unsat_seen += 1;
+                }
+                SolveResult::Unknown => panic!("seed {seed}: unlimited budget hit"),
+            }
+        }
+        assert!(sat_seen > 10 && unsat_seen > 10, "sweep must cover both answers ({sat_seen} SAT, {unsat_seen} UNSAT)");
+    }
+
+    /// Regression for 1-UIP learning: a chain where the learned clause
+    /// must assert at a lower level, exercising backjumping past
+    /// intermediate decision levels.
+    #[test]
+    fn learned_clause_backjumps() {
+        let mut s = Solver::new();
+        let v = nvars(&mut s, 6);
+        // Decisions will go x0=F, x1=F, x2=F (phase-saving default).
+        // These clauses make the x2 branch conflict in a way whose 1-UIP
+        // clause involves only x0's level, forcing a long backjump.
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[3])]); // ¬x0 → x3
+        s.add_clause(&[Lit::neg(v[3]), Lit::pos(v[2]), Lit::pos(v[4])]); // x3∧¬x2 → x4
+        s.add_clause(&[Lit::neg(v[3]), Lit::pos(v[2]), Lit::pos(v[5])]); // x3∧¬x2 → x5
+        s.add_clause(&[Lit::neg(v[4]), Lit::neg(v[5])]); // ¬(x4∧x5)
+        let SolveResult::Sat(m) = s.solve(u64::MAX) else {
+            panic!("satisfiable chain");
+        };
+        assert!(s.stats().conflicts >= 1, "the x2 branch must conflict");
+        // Model respects every clause.
+        let val = |l: Lit| m[l.var() as usize] != l.is_neg();
+        assert!(val(Lit::pos(v[0])) || val(Lit::pos(v[3])));
+        assert!(!val(Lit::pos(v[4])) || !val(Lit::pos(v[5])));
+        let _ = v[1];
+    }
+}

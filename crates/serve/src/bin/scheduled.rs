@@ -9,7 +9,7 @@
 //! ```text
 //! scheduled [--threads N] [--batch N] [--requests FILE] [--profile FILE]
 //!           [--socket PATH [--conns N]]
-//! scheduled --gen-requests N [--seed S]
+//! scheduled --gen-requests N [--seed S] [--backend SPEC]
 //! scheduled --dedup FILE
 //! ```
 //!
@@ -19,8 +19,9 @@
 //!   one shared cache; `--conns N` exits after N connections (for tests).
 //! * `--profile FILE`: write a `BENCH_*`-style snapshot with the
 //!   `serve.*` counters on exit.
-//! * `--gen-requests N --seed S`: print N request lines generated from
-//!   the seeded benchmark corpus, then exit.
+//! * `--gen-requests N --seed S --backend SPEC`: print N request lines
+//!   generated from the seeded benchmark corpus, routed to SPEC (`ims`,
+//!   `exact`, `sat`, or `portfolio(a,b,...)`; default `ims`), then exit.
 //! * `--dedup FILE`: canonicalize the request lines of FILE and report
 //!   distinct-problem / structural-duplicate counts, then exit.
 
@@ -29,13 +30,13 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::process::exit;
 
 use ims_prof::{snapshot, MetricsRegistry};
-use ims_serve::{dedup_keys, gen_requests, pool, serve_stream, Engine};
+use ims_serve::{dedup_keys, gen_requests_backend, pool, serve_stream, Engine};
 
 fn usage() -> ! {
     eprintln!(
         "usage: scheduled [--threads N] [--batch N] [--requests FILE] [--profile FILE]\n\
          \x20                [--socket PATH [--conns N]]\n\
-         \x20      scheduled --gen-requests N [--seed S]\n\
+         \x20      scheduled --gen-requests N [--seed S] [--backend SPEC]\n\
          \x20      scheduled --dedup FILE"
     );
     exit(2);
@@ -73,9 +74,10 @@ fn main() -> io::Result<()> {
 
     if let Some(n) = flag::<usize>(&args, "--gen-requests") {
         let seed = flag::<u64>(&args, "--seed").unwrap_or(7);
+        let backend = pool::backend_or_exit(&args, ims_core::BackendSpec::default());
         let stdout = io::stdout();
         let mut out = stdout.lock();
-        for line in gen_requests(seed, n) {
+        for line in gen_requests_backend(seed, n, &backend) {
             writeln!(out, "{line}")?;
         }
         return Ok(());

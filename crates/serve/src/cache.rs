@@ -6,8 +6,11 @@
 //! over:
 //!
 //! * a format-version tag,
-//! * the machine name, backend name, `budget_ratio` bit pattern,
-//!   `max_ii`, and `node_limit` (everything that can change the answer),
+//! * the machine name, the backend spec in canonical form (so
+//!   `portfolio( sat , ims )` and `portfolio(sat,ims)` share an entry
+//!   while member *order* still distinguishes keys — it breaks winner
+//!   ties), the `budget_ratio` bit pattern, `max_ii`, and `node_limit`
+//!   (everything that can change the answer),
 //! * the canonical graph encoding (labels + edges, canonically ordered).
 //!
 //! The request `id` is **not** hashed, and neither is anything about node
@@ -87,10 +90,10 @@ fn canonical_problem(req: &Request, form: &CanonicalForm) -> CanonProblem {
 /// exact inventory of what is and is not hashed.
 fn cache_key(req: &Request, canon: &CanonProblem) -> u128 {
     let mut bytes: Vec<u8> = Vec::new();
-    bytes.extend_from_slice(b"ims-serve-key-v1\0");
+    bytes.extend_from_slice(b"ims-serve-key-v2\0");
     bytes.extend_from_slice(req.machine.as_bytes());
     bytes.push(0);
-    bytes.extend_from_slice(req.backend.name().as_bytes());
+    bytes.extend_from_slice(req.backend.canonical().as_bytes());
     bytes.push(0);
     bytes.extend_from_slice(&req.budget_ratio.to_bits().to_be_bytes());
     match req.max_ii {

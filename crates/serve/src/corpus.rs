@@ -22,8 +22,16 @@ use crate::cache::key_request;
 use crate::wire::{parse_request, Request, WireEdge};
 
 /// Generates `n` deterministic request lines from the seeded corpus,
-/// targeting the full Cydra machine with default scheduling knobs.
+/// targeting the full Cydra machine with default scheduling knobs and
+/// the default (`ims`) backend.
 pub fn gen_requests(seed: u64, n: usize) -> Vec<String> {
+    gen_requests_backend(seed, n, &ims_core::BackendSpec::default())
+}
+
+/// [`gen_requests`] with every request routed to `backend` — any spec,
+/// leaf or portfolio. Used by the driver's `--gen-requests --backend …`
+/// path to produce replay corpora for backend-determinism checks.
+pub fn gen_requests_backend(seed: u64, n: usize, backend: &ims_core::BackendSpec) -> Vec<String> {
     let machine = cydra();
     let corpus = corpus_of_size(seed, n);
     corpus
@@ -60,7 +68,7 @@ pub fn gen_requests(seed: u64, n: usize) -> Vec<String> {
             Request {
                 id: format!("loop-{i:05}"),
                 machine: "cydra".to_string(),
-                backend: ims_core::BackendKind::Ims,
+                backend: backend.clone(),
                 budget_ratio: 2.0,
                 max_ii: None,
                 node_limit: None,
@@ -107,6 +115,24 @@ mod tests {
         // The corpus leads with the seed-independent hand kernels (~31),
         // so a seed change only shows in the synthetic tail beyond them.
         assert_ne!(gen_requests(43, 40), gen_requests(42, 40));
+    }
+
+    #[test]
+    fn generation_routes_requests_to_the_given_backend_spec() {
+        let spec: ims_core::BackendSpec = "portfolio(ims,exact,sat)".parse().unwrap();
+        let lines = gen_requests_backend(42, 4, &spec);
+        for line in &lines {
+            let req = parse_request(line).expect(line);
+            assert_eq!(req.backend, spec);
+        }
+        // Only the backend field differs from the default generation.
+        let default = gen_requests(42, 4);
+        for (a, b) in lines.iter().zip(&default) {
+            assert_eq!(
+                a.replace("portfolio(ims,exact,sat)", "ims"),
+                b.clone()
+            );
+        }
     }
 
     #[test]

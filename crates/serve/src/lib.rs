@@ -31,7 +31,7 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{key_request, Entry, Keyed, ScheduleCache};
-pub use corpus::{dedup_keys, gen_requests};
+pub use corpus::{dedup_keys, gen_requests, gen_requests_backend};
 pub use service::{serve_stream, Engine};
 pub use wire::{machine_by_name, parse_request, Request, WireEdge};
 

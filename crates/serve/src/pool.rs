@@ -118,6 +118,65 @@ pub fn parse_threads(args: &[String]) -> Result<Option<usize>, ThreadsError> {
     Ok(None)
 }
 
+/// Why a `--backend` flag could not be resolved to a [`ims_core::BackendSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// `--backend` was the last argument, with no value following it.
+    MissingValue,
+    /// The value was not a recognizable spec (carries the parse error,
+    /// which names the bad token and lists the registered names).
+    Invalid(ims_core::ParseBackendError),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::MissingValue => write!(f, "--backend requires a value"),
+            BackendError::Invalid(e) => write!(f, "invalid --backend value: {e}"),
+        }
+    }
+}
+
+/// Reads a `--backend SPEC` (or `--backend=SPEC`) flag from an argument
+/// list — the backend-selection twin of [`parse_threads`], shared by
+/// every driver so they all accept the same specs with the same
+/// strictness. `Ok(None)` when the flag is absent (callers pick their
+/// own default backend); an error — never a silent default — when the
+/// flag is present but malformed.
+pub fn parse_backend(args: &[String]) -> Result<Option<ims_core::BackendSpec>, BackendError> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--backend" {
+            it.next().ok_or(BackendError::MissingValue)?.as_str()
+        } else if let Some(v) = a.strip_prefix("--backend=") {
+            v
+        } else {
+            continue;
+        };
+        return match value.parse::<ims_core::BackendSpec>() {
+            Ok(spec) => Ok(Some(spec)),
+            Err(e) => Err(BackendError::Invalid(e)),
+        };
+    }
+    Ok(None)
+}
+
+/// [`parse_backend`] with driver-grade failure handling: resolves the
+/// `--backend` flag to a spec (or `default` when absent), exiting the
+/// process with status 2 and a usage line on a malformed value — the
+/// same contract as [`threads_or_exit`].
+pub fn backend_or_exit(args: &[String], default: ims_core::BackendSpec) -> ims_core::BackendSpec {
+    match parse_backend(args) {
+        Ok(Some(spec)) => spec,
+        Ok(None) => default,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: --backend SPEC  (ims, exact, sat, or portfolio(a,b,...))");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A panic caught inside a pool worker, attributed to the input item
 /// whose closure raised it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -336,6 +395,38 @@ mod tests {
             parse_threads(&args(&["bin", "--threads=-3"])),
             Err(ThreadsError::Invalid("-3".into()))
         );
+    }
+
+    #[test]
+    fn backend_flag_parses_both_spellings_and_full_specs() {
+        use ims_core::{BackendKind, BackendSpec};
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_backend(&args(&["bin", "--backend", "sat"])),
+            Ok(Some(BackendSpec::Leaf(BackendKind::Sat)))
+        );
+        assert_eq!(
+            parse_backend(&args(&["bin", "--backend=portfolio(ims,exact)"])),
+            Ok(Some(BackendSpec::Portfolio(vec![
+                BackendKind::Ims,
+                BackendKind::Exact
+            ])))
+        );
+        assert_eq!(parse_backend(&args(&["bin"])), Ok(None));
+    }
+
+    #[test]
+    fn backend_flag_rejects_malformed_values() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_backend(&args(&["bin", "--backend"])),
+            Err(BackendError::MissingValue)
+        );
+        let err = parse_backend(&args(&["bin", "--backend", "magic"])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("magic") && msg.contains("ims, exact, sat"), "{msg}");
+        let err = parse_backend(&args(&["bin", "--backend=portfolio(ims,"])).unwrap_err();
+        assert!(matches!(err, BackendError::Invalid(_)), "{err}");
     }
 
     #[test]

@@ -25,9 +25,9 @@
 use std::collections::HashSet;
 use std::io::{self, BufRead, Write};
 
-use ims_core::{ProblemBuilder, SchedConfig, Scheduler};
-use ims_exact::{schedule_exact, ExactConfig};
+use ims_core::{BackendParams, BackendSpec, ProblemBuilder, SchedConfig};
 use ims_prof::{phase, MetricsRegistry};
+use ims_sat::default_registry;
 
 use crate::cache::{key_request, CanonProblem, Entry, Keyed, ScheduleCache};
 use crate::json;
@@ -41,7 +41,7 @@ use crate::wire::{machine_by_name, parse_request, Request};
 struct Job {
     key: u128,
     machine: String,
-    backend: ims_core::BackendKind,
+    backend: BackendSpec,
     budget_ratio: f64,
     max_ii: Option<i64>,
     node_limit: Option<u64>,
@@ -85,21 +85,20 @@ fn run_job(job: &Job) -> Entry {
         times: (0..n).map(|i| schedule.time[i + 1]).collect(),
         alts: (0..n).map(|i| schedule.alternative[i + 1]).collect(),
     };
-    match job.backend {
-        ims_core::BackendKind::Ims => match Scheduler::new(&problem).config(cfg).run() {
-            Ok(out) => entry_ok(&out.schedule, out.mii.mii),
-            Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
-        },
-        ims_core::BackendKind::Exact => {
-            let mut xcfg = ExactConfig::new().heuristic(cfg);
-            if job.node_limit.is_some() {
-                xcfg = xcfg.node_limit(job.node_limit);
-            }
-            match schedule_exact(&problem, &xcfg) {
-                Ok(out) => entry_ok(&out.schedule, out.mii.mii),
-                Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
-            }
-        }
+    // Any spec the wire accepts resolves here (the registry carries every
+    // name the parser knows); keep the failure path anyway so a drifted
+    // registry degrades to an error response, not a panic.
+    let mut params = BackendParams::new().sched(cfg);
+    if let Some(n) = job.node_limit {
+        params = params.node_limit(n);
+    }
+    let backend = match default_registry().resolve(&job.backend, &params) {
+        Ok(b) => b,
+        Err(e) => return Entry::Failed { error: format!("schedule failed: {e}") },
+    };
+    match backend.schedule(&problem) {
+        Ok(out) => entry_ok(&out.schedule, out.mii.mii),
+        Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
     }
 }
 
@@ -209,7 +208,7 @@ impl Engine {
                 jobs.push(Job {
                     key: keyed.key,
                     machine: req.machine.clone(),
-                    backend: req.backend,
+                    backend: req.backend.clone(),
                     budget_ratio: req.budget_ratio,
                     max_ii: req.max_ii,
                     node_limit: req.node_limit,
@@ -482,6 +481,42 @@ mod tests {
         assert!(out[1].contains("\"ok\":true"));
         assert_eq!(engine.cache.len(), 2, "backend is part of the key");
         assert_eq!(engine.cache.misses, 2);
+    }
+
+    #[test]
+    fn portfolio_requests_answer_identically_across_thread_counts() {
+        let lines = [
+            r#"{"id":"pf","machine":"figure1","backend":"portfolio(ims,exact,sat)","ops":["mul","add"],"edges":[[0,1,5,0,"flow",false],[1,0,4,2,"flow",false]]}"#,
+            r#"{"id":"sat","machine":"figure1","backend":"sat","ops":["mul","add"],"edges":[[0,1,5,0,"flow",false],[1,0,4,2,"flow",false]]}"#,
+        ];
+        let mut a = Engine::new(1);
+        let cold = respond(&mut a, &lines);
+        assert!(cold[0].contains("\"ok\":true"), "{}", cold[0]);
+        assert!(cold[1].contains("\"ok\":true"), "{}", cold[1]);
+        assert_eq!(a.cache.len(), 2, "spec is part of the key");
+        // Hot replay and a parallel engine both reproduce the bytes.
+        let hot = respond(&mut a, &lines);
+        assert_eq!(cold, hot);
+        let mut b = Engine::new(4);
+        assert_eq!(respond(&mut b, &lines), cold);
+    }
+
+    #[test]
+    fn unknown_backend_specs_fail_per_request_before_any_worker_runs() {
+        let mut engine = Engine::new(2);
+        let out = respond(
+            &mut engine,
+            &[
+                r#"{"id":"bad","backend":"portfolio(ims,magic)","ops":["add"]}"#,
+                CHAIN,
+            ],
+        );
+        assert!(out[0].contains("\"ok\":false"), "{}", out[0]);
+        assert!(out[0].contains("unknown backend"), "{}", out[0]);
+        assert!(out[1].contains("\"ok\":true"), "healthy request unaffected");
+        assert_eq!(engine.failed, 1);
+        // The rejection happened at parse time: no cache traffic for it.
+        assert_eq!(engine.cache.hits + engine.cache.misses, 1);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * `machine` (default `"cydra"`): a named machine model —
 //!   `cydra`, `cydra_simple`, `figure1`, `minimal`, `single_alu`, or
 //!   `wide<K>`.
-//! * `backend` (default `"ims"`): `"ims"` or `"exact"`.
+//! * `backend` (default `"ims"`): any backend spec — `"ims"`,
+//!   `"exact"`, `"sat"`, or `"portfolio(a,b,...)"` over those names.
+//!   Unknown names are rejected *at parse time* with a structured
+//!   per-request error response; a bad spec can never reach (let alone
+//!   kill) a scheduling worker.
 //! * `budget_ratio` (default 2.0), `max_ii` (default none): the
 //!   [`SchedConfig`] knobs.
 //! * `node_limit` (exact backend only; default the [`ExactConfig`]
@@ -32,7 +36,7 @@
 //! design (the cache-determinism contract, `DESIGN.md` §5e); hit/miss
 //! tallies go to the profiler registry and stderr instead.
 
-use ims_core::BackendKind;
+use ims_core::BackendSpec;
 use ims_graph::{DepGraph, DepKind};
 use ims_ir::Opcode;
 use ims_machine::{cydra, cydra_simple, figure1_machine, minimal, single_alu, wide, MachineModel};
@@ -69,8 +73,9 @@ pub struct Request {
     pub id: String,
     /// Named machine model (part of the cache key).
     pub machine: String,
-    /// Scheduling backend (part of the cache key).
-    pub backend: BackendKind,
+    /// Scheduling backend spec (part of the cache key, in canonical
+    /// form).
+    pub backend: BackendSpec,
     /// The `BudgetRatio` for the iterative scheduler (part of the key).
     pub budget_ratio: f64,
     /// Optional candidate-II cap (part of the key).
@@ -163,10 +168,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 
     let backend = match obj.get("backend") {
-        None => BackendKind::Ims,
+        None => BackendSpec::default(),
         Some(b) => {
             let s = b.as_str().ok_or("field \"backend\" must be a string")?;
-            BackendKind::parse(s).ok_or_else(|| format!("unknown backend {s:?}"))?
+            s.parse::<BackendSpec>().map_err(|e| e.to_string())?
         }
     };
 
@@ -313,7 +318,7 @@ impl Request {
             "{{\"id\":\"{}\",\"machine\":\"{}\",\"backend\":\"{}\"",
             json::escape(&self.id),
             json::escape(&self.machine),
-            self.backend.name()
+            self.backend
         );
         if self.budget_ratio != 2.0 {
             // budget_ratio values are restricted to halves by the
@@ -362,7 +367,7 @@ mod tests {
         .unwrap();
         assert_eq!(r.id, "x");
         assert_eq!(r.machine, "minimal");
-        assert_eq!(r.backend, BackendKind::Exact);
+        assert_eq!(r.backend, BackendSpec::Leaf(ims_core::BackendKind::Exact));
         assert_eq!(r.budget_ratio, 4.0);
         assert_eq!(r.max_ii, Some(9));
         assert_eq!(r.node_limit, Some(1000));
@@ -376,7 +381,7 @@ mod tests {
     fn defaults_apply() {
         let r = parse_request(r#"{"id":"d","ops":["add"]}"#).unwrap();
         assert_eq!(r.machine, "cydra");
-        assert_eq!(r.backend, BackendKind::Ims);
+        assert_eq!(r.backend, BackendSpec::Leaf(ims_core::BackendKind::Ims));
         assert_eq!(r.budget_ratio, 2.0);
         assert_eq!(r.max_ii, None);
         assert!(r.edges.is_empty());
@@ -390,6 +395,8 @@ mod tests {
             (r#"{"id":"a","ops":["frobnicate"]}"#, "unknown opcode"),
             (r#"{"id":"a","machine":"pdp11","ops":["add"]}"#, "unknown machine"),
             (r#"{"id":"a","backend":"magic","ops":["add"]}"#, "unknown backend"),
+            (r#"{"id":"a","backend":"portfolio(ims,magic)","ops":["add"]}"#, "unknown backend"),
+            (r#"{"id":"a","backend":"portfolio()","ops":["add"]}"#, "at least one member"),
             (r#"{"id":"a","ops":["add"],"edges":[[0,5,1,0,"flow",false]]}"#, "out of range"),
             (r#"{"id":"a","ops":["add"],"edges":[[0,0,1,0,"data",false]]}"#, "kind"),
             (r#"{"id":"a","budget_ratio":-1,"ops":["add"]}"#, "budget_ratio"),
@@ -426,5 +433,18 @@ mod tests {
         let r = parse_request(line).unwrap();
         assert_eq!(r.to_line(), line);
         assert_eq!(parse_request(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn portfolio_specs_parse_canonically_and_round_trip() {
+        let r = parse_request(
+            r#"{"id":"p","backend":" portfolio( exact , sat ) ","ops":["add"]}"#,
+        )
+        .unwrap();
+        // Whitespace-tolerant in, canonical form out.
+        assert_eq!(r.backend.to_string(), "portfolio(exact,sat)");
+        let line = r.to_line();
+        assert!(line.contains("\"backend\":\"portfolio(exact,sat)\""), "{line}");
+        assert_eq!(parse_request(&line).unwrap(), r);
     }
 }

@@ -146,7 +146,7 @@ impl SchedEvent {
                 budget: i64_field(line, "budget")?,
                 // Traces predating the backend field are iterative ones.
                 backend: match str_field(line, "backend") {
-                    Some(name) => BackendKind::parse(name)?,
+                    Some(name) => BackendKind::from_name(name)?,
                     None => BackendKind::Ims,
                 },
             },

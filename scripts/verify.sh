@@ -81,6 +81,36 @@ cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
     --strict-counters --no-wall
 echo "    byte-identical at --threads 1 and --threads 4 (240 loops, exact + 4 budgets)"
 
+echo "==> optgap --backend sat: determinism and cross-prover agreement"
+sat1_log=$(mktemp)
+sat4_log=$(mktemp)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log"' EXIT
+cargo run --release --offline -q -p ims-bench --bin optgap -- \
+    --loops 240 --threads 1 --backend sat \
+    --profile "$bench_dir/BENCH_optgap_sat_t1.json" >"$sat1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-bench --bin optgap -- \
+    --loops 240 --threads 4 --backend sat \
+    --profile "$bench_dir/BENCH_optgap_sat_t4.json" >"$sat4_log" 2>/dev/null
+if ! diff -q "$sat1_log" "$sat4_log" >/dev/null; then
+    echo "FAIL: optgap --backend sat differs between --threads 1 and --threads 4" >&2
+    diff "$sat1_log" "$sat4_log" | head >&2
+    exit 1
+fi
+# The SAT prover and the branch-and-bound prover must agree loop-for-loop
+# on proved bounds (neither hits a limit at these sizes): compare the
+# per-loop exact_lb/exact_ub fields against the exact run above.
+if ! diff -q <(grep -o '"exact_lb":[0-9-]*,"exact_ub":[0-9-]*' "$og1_log") \
+            <(grep -o '"exact_lb":[0-9-]*,"exact_ub":[0-9-]*' "$sat1_log") >/dev/null; then
+    echo "FAIL: SAT and branch-and-bound provers disagree on proved bounds" >&2
+    exit 1
+fi
+# sat.* counters (conflicts, propagations, learned clauses, ...) are
+# deterministic work: strict across thread counts.
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_optgap_sat_t1.json" "$bench_dir/BENCH_optgap_sat_t4.json" \
+    --strict-counters --no-wall
+echo "    byte-identical across thread counts; bounds agree with exact on all 240 loops"
+
 echo "==> trace determinism across thread counts"
 tr1_dir="$bench_dir/trace_corpus_t1"
 tr4_dir="$bench_dir/trace_corpus_t4"
@@ -104,7 +134,7 @@ reqs="$bench_dir/serve_requests.jsonl"
 doubled="$bench_dir/serve_requests_x2.jsonl"
 sv1_log=$(mktemp)
 sv4_log=$(mktemp)
-trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sv1_log" "$sv4_log"' EXIT
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$sv1_log" "$sv4_log"' EXIT
 cargo run --release --offline -q -p ims-serve --bin scheduled -- \
     --gen-requests 40 --seed 7 >"$reqs"
 cat "$reqs" "$reqs" >"$doubled"
@@ -140,6 +170,34 @@ cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
     --strict-counters --no-wall
 echo "    $((2 * n_half)) responses byte-identical across thread counts; second pass fully cached ($hits hits, $misses misses)"
 
+echo "==> scheduled service: portfolio(ims,exact) race determinism"
+preqs="$bench_dir/serve_portfolio.jsonl"
+pdoubled="$bench_dir/serve_portfolio_x2.jsonl"
+pf1_log=$(mktemp)
+pf4_log=$(mktemp)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$sv1_log" "$sv4_log" "$pf1_log" "$pf4_log"' EXIT
+cargo run --release --offline -q -p ims-serve --bin scheduled -- \
+    --gen-requests 30 --seed 11 --backend "portfolio(ims,exact)" >"$preqs"
+cat "$preqs" "$preqs" >"$pdoubled"
+cargo run --release --offline -q -p ims-serve --bin scheduled -- \
+    --threads 1 --requests "$pdoubled" >"$pf1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-serve --bin scheduled -- \
+    --threads 4 --requests "$pdoubled" >"$pf4_log" 2>/dev/null
+# The race winner (lowest II, member order breaking ties) must be a pure
+# function of the request: byte-identical responses at any thread count,
+# and the cache-warm second half identical to the cold first half.
+if ! diff -q "$pf1_log" "$pf4_log" >/dev/null; then
+    echo "FAIL: portfolio responses differ between --threads 1 and --threads 4" >&2
+    diff "$pf1_log" "$pf4_log" | head >&2
+    exit 1
+fi
+pn_half=$(wc -l <"$preqs")
+if ! diff -q <(head -n "$pn_half" "$pf1_log") <(tail -n "$pn_half" "$pf1_log") >/dev/null; then
+    echo "FAIL: portfolio cold and warm response halves differ" >&2
+    exit 1
+fi
+echo "    $((2 * pn_half)) portfolio responses byte-identical across thread counts, cache hot or cold"
+
 echo "==> cargo doc --no-deps --offline (warnings are errors)"
 cargo doc --no-deps --offline --workspace 2>&1 | tee "$doc_log"
 if grep -q "^warning" "$doc_log"; then
@@ -147,4 +205,4 @@ if grep -q "^warning" "$doc_log"; then
     exit 1
 fi
 
-echo "OK: build, tests, determinism, profiling gates, service cache, and docs all clean offline"
+echo "OK: build, tests, determinism, cross-prover agreement, profiling gates, service cache, portfolio racing, and docs all clean offline"

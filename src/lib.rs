@@ -13,6 +13,9 @@
 //! * the iterative modulo scheduler itself, with MII bounds ([`core`]),
 //! * an exact branch-and-bound modulo scheduler that proves II optimality
 //!   or reports explicit bounds under a budget ([`exact`]),
+//! * a second exact backend: a std-only CDCL SAT solver plus a CNF
+//!   encoding of "is there a schedule at this II?" ([`sat`]), racing the
+//!   others through the backend registry and `portfolio(...)` specs,
 //! * post-scheduling code generation — modulo variable expansion, kernel
 //!   unrolling, prologue/epilogue ([`codegen`]),
 //! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
@@ -62,6 +65,7 @@ pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
 pub use ims_machine as machine;
 pub use ims_prof as prof;
+pub use ims_sat as sat;
 pub use ims_serve as serve;
 pub use ims_stats as stats;
 pub use ims_trace as trace;
@@ -74,10 +78,12 @@ pub use ims_vliw as vliw;
 /// observers/trace utilities from [`mod@trace`].
 pub mod prelude {
     pub use ims_core::{
-        modulo_schedule, BackendKind, IiBounds, IterativeBackend, NullObserver, ProblemBuilder,
-        SchedConfig, SchedObserver, SchedOutcome, ScheduleError, Scheduler, SchedulerBackend,
+        modulo_schedule, BackendKind, BackendParams, BackendRegistry, BackendSpec, IiBounds,
+        IterativeBackend, NullObserver, ProblemBuilder, SchedConfig, SchedObserver, SchedOutcome,
+        ScheduleError, Scheduler, SchedulerBackend,
     };
     pub use ims_exact::{schedule_exact, ExactBackend, ExactConfig, ExactOutcome};
+    pub use ims_sat::{default_registry, schedule_sat, SatBackend, SatConfig, SatOutcome};
     pub use ims_trace::{
         parse_trace, replay, MetricsObserver, Recorder, SchedEvent, TraceSummary, TraceWriter,
     };

@@ -9,6 +9,7 @@
 //! ```text
 //! corpus [--seed H] [--loops N] [--budget R] [--threads T] [--trace DIR]
 //!        [--backend ims|exact|sat] [--deadline-ms D] [--wall] [--profile FILE]
+//!        [--pressure-limit N]
 //! ```
 //!
 //! Defaults: the paper's 1327-loop corpus at seed `0xC4D5`, BudgetRatio 6,
@@ -29,6 +30,14 @@
 //! per-loop harness; they exit 2 here. `--wall` appends the
 //! (non-deterministic) per-loop `wall_ns` timing to each line.
 //!
+//! `--pressure-limit N` (iterative backend only) schedules the same
+//! corpus against the `cydra_rf(N)` machine variant — the Cydra 5 model
+//! with an `N`-register rotating file — enforcing MaxLive ≤ N and a
+//! fitting rotating allocation through `ims-press`. Each JSON line gains
+//! `press_limit`/`press_ok`/`max_live`/`rot_size`; loops infeasible even
+//! at the II cap fall back to their pressure-blind schedule with
+//! `press_ok:false`. Incompatible with `--trace` (exit 2).
+//!
 //! `--profile FILE` additionally profiles every pipeline phase (including
 //! code generation and VLIW simulation, which only run under this flag)
 //! and writes a versioned `BENCH_<name>.json` snapshot to `FILE`. The
@@ -38,15 +47,17 @@
 //! varies. Compare snapshots with `benchdiff`, render them with
 //! `profile_report`.
 
-use ims_bench::pool::{backend_or_exit, threads_or_exit};
-use ims_bench::profile::{measure_corpus_profiled, parse_profile_path, write_profile};
+use ims_bench::pool::{backend_or_exit, pressure_or_exit, threads_or_exit};
+use ims_bench::profile::{
+    measure_corpus_pressure_profiled, measure_corpus_profiled, parse_profile_path, write_profile,
+};
 use ims_bench::{
-    conflict_budget_for_ms, corpus_jsonl_opts, measure_corpus_backend, measure_corpus_traced,
-    node_budget_for_ms, parse_trace_dir,
+    conflict_budget_for_ms, corpus_jsonl_opts, measure_corpus_backend, measure_corpus_pressure,
+    measure_corpus_traced, node_budget_for_ms, parse_trace_dir,
 };
 use ims_core::{BackendKind, BackendSpec};
 use ims_loopgen::corpus_of_size;
-use ims_machine::cydra;
+use ims_machine::{cydra, cydra_rf};
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     let mut it = args.iter();
@@ -86,15 +97,41 @@ fn main() {
         eprintln!("corpus: --trace is only supported with --backend ims");
         std::process::exit(2);
     }
+    let pressure_limit = pressure_or_exit(&args);
+    if pressure_limit.is_some() && backend != BackendKind::Ims {
+        eprintln!("corpus: --pressure-limit is only supported with --backend ims");
+        std::process::exit(2);
+    }
+    if pressure_limit.is_some() && trace_dir.is_some() {
+        eprintln!("corpus: --pressure-limit cannot be combined with --trace");
+        std::process::exit(2);
+    }
     let work_limit = match backend {
         BackendKind::Sat => conflict_budget_for_ms(deadline_ms),
         _ => node_budget_for_ms(deadline_ms),
     };
 
     let corpus = corpus_of_size(seed, loops);
-    let machine = cydra();
+    // A pressure limit names a register-file capacity, so it also selects
+    // the machine variant that declares that capacity.
+    let machine = match pressure_limit {
+        Some(limit) => cydra_rf(limit),
+        None => cydra(),
+    };
     let t0 = std::time::Instant::now();
-    let ms = if let Some(profile_path) = &profile_path {
+    let ms = if let Some(limit) = pressure_limit {
+        if let Some(profile_path) = &profile_path {
+            let (ms, reg) =
+                measure_corpus_pressure_profiled(&corpus, &machine, budget, limit, threads);
+            write_profile(profile_path, "corpus", &reg).unwrap_or_else(|e| {
+                eprintln!("corpus: cannot write profile {}: {e}", profile_path.display());
+                std::process::exit(1);
+            });
+            ms
+        } else {
+            measure_corpus_pressure(&corpus, &machine, budget, limit, threads)
+        }
+    } else if let Some(profile_path) = &profile_path {
         let (ms, reg) = measure_corpus_profiled(
             &corpus,
             &machine,

@@ -37,9 +37,10 @@
 //! are byte-identical across thread counts; compare snapshots with
 //! `benchdiff` and render them with `profile_report`.
 
+use ims_codegen::{allocate_rotating, lifetimes};
 use ims_core::{
     height_r, list_schedule, BackendKind, Counters, NullObserver, Problem, SchedConfig,
-    SchedObserver, SchedOutcome, Scheduler,
+    SchedObserver, SchedOutcome, ScheduleError, Scheduler,
 };
 use ims_deps::{back_substitute, build_problem, BuildOptions};
 use ims_exact::{schedule_exact, ExactConfig};
@@ -47,6 +48,7 @@ use ims_graph::sccs;
 use ims_sat::{schedule_sat, SatConfig};
 use ims_loopgen::{Corpus, CorpusLoop, Profile};
 use ims_machine::MachineModel;
+use ims_press::{shapes_from_body, PressureModel, PressureObserver};
 use ims_trace::TraceWriter;
 
 pub mod micro;
@@ -99,6 +101,24 @@ pub struct ExactInfo {
     pub limit_hit: bool,
 }
 
+/// What the pressure-aware run measured about one loop (absent from
+/// pressure-blind measurements).
+#[derive(Debug, Clone, Copy)]
+pub struct PressInfo {
+    /// The register-file capacity the run scheduled against.
+    pub limit: u32,
+    /// Whether a schedule satisfying the limit was found. When `false`
+    /// the base fields describe the pressure-**blind** fallback schedule
+    /// (so the line still reports an II), and `max_live`/`rot_size` show
+    /// how far that fallback overshoots the file.
+    pub ok: bool,
+    /// MaxLive of the reported schedule.
+    pub max_live: u32,
+    /// Rotating register-file size allocated for the reported schedule
+    /// (inter-writer gaps can push this above `max_live`).
+    pub rot_size: usize,
+}
+
 /// Everything the paper measures about one scheduled loop.
 #[derive(Debug, Clone)]
 pub struct LoopMeasurement {
@@ -140,6 +160,8 @@ pub struct LoopMeasurement {
     pub wall_ns: u64,
     /// Exact-backend bounds; `None` for the iterative backend.
     pub exact: Option<ExactInfo>,
+    /// Register-pressure results; `None` outside `--pressure-limit` runs.
+    pub press: Option<PressInfo>,
 }
 
 impl LoopMeasurement {
@@ -281,6 +303,217 @@ pub fn measure_loop_sat(
     m
 }
 
+/// Schedules one corpus loop **register-pressure-aware**: a
+/// [`PressureObserver`] vetoes placements and rejects attempts whose
+/// MaxLive (or rotating allocation) exceeds `limit`, so an accepted
+/// schedule is known to fit a rotating file of `limit` registers.
+///
+/// When even the II cap cannot satisfy the limit
+/// ([`ScheduleError::PressureInfeasible`]), the measurement falls back to
+/// the pressure-blind schedule — the line still reports an II — with
+/// [`PressInfo::ok`] `false` and the blind schedule's (over-limit)
+/// pressure in `max_live`/`rot_size`.
+///
+/// # Panics
+///
+/// Panics if the pressure-blind fallback itself fails to schedule
+/// (impossible for well-formed corpus loops with the automatic II cap).
+pub fn measure_loop_pressure(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    limit: u32,
+) -> LoopMeasurement {
+    measure_loop_pressure_observed(l, machine, budget_ratio, limit, &mut NullObserver)
+}
+
+/// [`measure_loop_pressure`] with an extra caller-supplied observer (the
+/// profiling wrapper) watching the same run as the pressure observer.
+pub fn measure_loop_pressure_observed<O: SchedObserver>(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    limit: u32,
+    extra: &mut O,
+) -> LoopMeasurement {
+    let body = back_substitute(&l.body, machine);
+    let problem = build_problem(&body, machine, &BuildOptions::default());
+    let t0 = std::time::Instant::now();
+    let run = schedule_pressure(&body, &problem, budget_ratio, limit, extra);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut m = finish_measurement(&problem, l, run.outcome.mii.res_mii,
+        run.outcome.mii.rec_mii, run.outcome.mii.mii, &run.outcome.schedule);
+    m.final_steps = run.outcome.stats.final_steps();
+    m.total_steps = run.outcome.stats.total_steps();
+    m.counters = run.outcome.stats.counters;
+    m.wall_ns = wall_ns;
+    m.press = Some(run.press);
+    m
+}
+
+/// The outcome of one pressure-aware scheduling run: the reported
+/// schedule (the pressure-aware one, or the pressure-blind fallback on
+/// infeasibility), its pressure verdict, and the `press.*` work counts.
+pub(crate) struct PressRun {
+    pub(crate) outcome: SchedOutcome,
+    pub(crate) press: PressInfo,
+    /// `press.maxlive.updates` — lifetime-interval updates performed.
+    pub(crate) updates: u64,
+    /// `press.rejects` — placements vetoed over the limit.
+    pub(crate) rejects: u64,
+    /// `press.ii_bumps` — completed attempts rejected for pressure.
+    pub(crate) ii_bumps: u64,
+}
+
+/// The shared core of the pressure-aware measurement paths (plain and
+/// profiled): schedules `problem` under `limit` with a
+/// [`PressureObserver`] (and `extra` in tandem), falling back to the
+/// pressure-blind schedule — flagged `ok: false`, with its over-limit
+/// pressure reported — on [`ScheduleError::PressureInfeasible`].
+pub(crate) fn schedule_pressure<O: SchedObserver>(
+    body: &ims_ir::LoopBody,
+    problem: &Problem<'_>,
+    budget_ratio: f64,
+    limit: u32,
+    extra: &mut O,
+) -> PressRun {
+    let mut obs = PressureObserver::for_body(body, problem, limit);
+    let result = Scheduler::new(problem)
+        .config(
+            SchedConfig::new()
+                .budget_ratio(budget_ratio)
+                .pressure_limit(limit),
+        )
+        .observer(Tandem(&mut obs, extra))
+        .run();
+    match result {
+        Ok(outcome) => {
+            let lts = lifetimes(body, problem, &outcome.schedule);
+            let rot = allocate_rotating(body, &lts, outcome.schedule.ii);
+            PressRun {
+                press: PressInfo {
+                    limit,
+                    ok: true,
+                    max_live: obs.max_live(),
+                    rot_size: rot.size,
+                },
+                updates: obs.updates(),
+                rejects: obs.rejects(),
+                ii_bumps: obs.ii_bumps(),
+                outcome,
+            }
+        }
+        Err(ScheduleError::PressureInfeasible { .. }) => {
+            // Report the pressure-blind schedule so the measurement still
+            // has an II, flagged infeasible with its actual pressure.
+            let outcome: SchedOutcome = Scheduler::new(problem)
+                .config(SchedConfig::new().budget_ratio(budget_ratio))
+                .observer(&mut *extra)
+                .run()
+                .expect("corpus loops always schedule under the automatic II cap");
+            let mut model = PressureModel::new(
+                shapes_from_body(body, problem),
+                problem.graph().num_nodes(),
+                1,
+            );
+            model.load_schedule(&outcome.schedule);
+            let lts = lifetimes(body, problem, &outcome.schedule);
+            let rot = allocate_rotating(body, &lts, outcome.schedule.ii);
+            PressRun {
+                press: PressInfo {
+                    limit,
+                    ok: false,
+                    max_live: model.max_live(),
+                    rot_size: rot.size,
+                },
+                updates: obs.updates() + model.updates(),
+                rejects: obs.rejects(),
+                ii_bumps: obs.ii_bumps(),
+                outcome,
+            }
+        }
+        Err(e) => {
+            panic!("corpus loops always schedule under the automatic II cap: {e}")
+        }
+    }
+}
+
+/// Fans [`measure_loop_pressure`] out over the worker pool; results in
+/// corpus order, byte-identical for every thread count.
+pub fn measure_corpus_pressure(
+    corpus: &Corpus,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    limit: u32,
+    threads: usize,
+) -> Vec<LoopMeasurement> {
+    pool::par_map(&corpus.loops, threads, |_, l| {
+        measure_loop_pressure(l, machine, budget_ratio, limit)
+    })
+}
+
+/// Broadcasts every scheduler event to two observers. The consulted
+/// hooks are combined the strict way: a placement stands only if
+/// *neither* observer vetoes it, an attempt only if *both* accept —
+/// with `B = NullObserver` this is exactly `A` alone.
+struct Tandem<'a, A, B>(&'a mut A, &'a mut B);
+
+impl<A: SchedObserver, B: SchedObserver> SchedObserver for Tandem<'_, A, B> {
+    fn backend(&mut self, kind: BackendKind) {
+        self.0.backend(kind);
+        self.1.backend(kind);
+    }
+
+    fn attempt_start(&mut self, ii: i64, budget: i64) {
+        self.0.attempt_start(ii, budget);
+        self.1.attempt_start(ii, budget);
+    }
+
+    fn op_scheduled(&mut self, node: ims_graph::NodeId, time: i64, alt: usize, forced: bool) {
+        self.0.op_scheduled(node, time, alt, forced);
+        self.1.op_scheduled(node, time, alt, forced);
+    }
+
+    fn op_evicted(&mut self, node: ims_graph::NodeId, evictor: ims_graph::NodeId) {
+        self.0.op_evicted(node, evictor);
+        self.1.op_evicted(node, evictor);
+    }
+
+    fn slot_search(&mut self, node: ims_graph::NodeId, estart: i64, iters: u32) {
+        self.0.slot_search(node, estart, iters);
+        self.1.slot_search(node, estart, iters);
+    }
+
+    fn estart_computed(&mut self, node: ims_graph::NodeId, preds: u32) {
+        self.0.estart_computed(node, preds);
+        self.1.estart_computed(node, preds);
+    }
+
+    fn budget_exhausted(&mut self, ii: i64, spent: u64) {
+        self.0.budget_exhausted(ii, spent);
+        self.1.budget_exhausted(ii, spent);
+    }
+
+    fn attempt_done(&mut self, ii: i64, ok: bool) {
+        self.0.attempt_done(ii, ok);
+        self.1.attempt_done(ii, ok);
+    }
+
+    fn placement_vetoed(&mut self, node: ims_graph::NodeId, time: i64) -> bool {
+        // No short-circuit: both observers see every probe.
+        let a = self.0.placement_vetoed(node, time);
+        let b = self.1.placement_vetoed(node, time);
+        a || b
+    }
+
+    fn attempt_accept(&mut self, ii: i64, schedule: &ims_core::Schedule) -> bool {
+        let a = self.0.attempt_accept(ii, schedule);
+        let b = self.1.attempt_accept(ii, schedule);
+        a && b
+    }
+}
+
 /// The backend-independent tail of a loop measurement: SCC statistics and
 /// the schedule-length lower bound, packaged with the schedule's
 /// quantities. Work counters are left zero for the caller to fill.
@@ -336,6 +569,7 @@ fn finish_measurement(
         profile: l.profile,
         wall_ns: 0,
         exact: None,
+        press: None,
     }
 }
 
@@ -461,8 +695,10 @@ pub fn measurement_json_line(index: usize, m: &LoopMeasurement) -> String {
 }
 
 /// [`measurement_json_line`] with opt-in extras: `with_wall` appends the
-/// (non-deterministic) `wall_ns` timing, and exact-backend measurements
-/// always append their `proved_lb`/`best_ub`/`limit_hit` bounds — the
+/// (non-deterministic) `wall_ns` timing, exact-backend measurements
+/// always append their `proved_lb`/`best_ub`/`limit_hit` bounds, and
+/// pressure-aware measurements always append their
+/// `press_limit`/`press_ok`/`max_live`/`rot_size` verdict — the plain
 /// iterative backend's lines are byte-unchanged.
 pub fn measurement_json_line_opts(index: usize, m: &LoopMeasurement, with_wall: bool) -> String {
     let mut line = measurement_json_core(index, m);
@@ -471,6 +707,13 @@ pub fn measurement_json_line_opts(index: usize, m: &LoopMeasurement, with_wall: 
         line.push_str(&format!(
             ",\"proved_lb\":{},\"best_ub\":{},\"limit_hit\":{}}}",
             e.proved_lb, e.best_ub, e.limit_hit
+        ));
+    }
+    if let Some(p) = m.press {
+        line.pop();
+        line.push_str(&format!(
+            ",\"press_limit\":{},\"press_ok\":{},\"max_live\":{},\"rot_size\":{}}}",
+            p.limit, p.ok, p.max_live, p.rot_size
         ));
     }
     if with_wall {
@@ -550,6 +793,19 @@ pub fn corpus_jsonl_opts(ms: &[LoopMeasurement], with_wall: bool) -> String {
         agg.pop();
         agg.push_str(&format!(
             ",\"proven_optimal\":{proven},\"open_gap\":{gap},\"limit_hits\":{limit_hits}}}"
+        ));
+    }
+    if let Some(first) = ms.iter().find_map(|m| m.press) {
+        let press: Vec<PressInfo> = ms.iter().filter_map(|m| m.press).collect();
+        let fit = press.iter().filter(|p| p.ok).count();
+        let infeasible = press.len() - fit;
+        let sum_max_live: u64 = press.iter().map(|p| p.max_live as u64).sum();
+        let peak_max_live = press.iter().map(|p| p.max_live).max().unwrap_or(0);
+        agg.pop();
+        agg.push_str(&format!(
+            ",\"press_limit\":{},\"press_fit\":{fit},\"press_infeasible\":{infeasible},\
+             \"sum_max_live\":{sum_max_live},\"peak_max_live\":{peak_max_live}}}",
+            first.limit
         ));
     }
     out.push_str(&agg);
@@ -638,6 +894,46 @@ mod tests {
         assert!(timed.contains("\"wall_ns\":"), "{timed}");
         let agg = corpus_jsonl_opts(&exact, false);
         assert!(agg.contains("\"proven_optimal\":"), "{agg}");
+    }
+
+    #[test]
+    fn pressure_runs_fit_or_flag_infeasibility() {
+        let corpus = corpus_of_size(9, 12);
+        let machine = ims_machine::cydra_rf(16);
+        let limit = machine.register_file().expect("cydra_rf declares a file");
+        let blind = measure_corpus_threads(&corpus, &machine, 6.0, 2);
+        let aware = pool::par_map(&corpus.loops, 2, |_, l| {
+            measure_loop_pressure(l, &machine, 6.0, limit)
+        });
+        let mut fits = 0;
+        for (b, a) in blind.iter().zip(&aware) {
+            assert!(b.press.is_none());
+            let p = a.press.expect("pressure measurements carry a verdict");
+            assert_eq!(p.limit, limit);
+            if p.ok {
+                fits += 1;
+                assert!(p.max_live <= limit);
+                assert!(p.rot_size <= limit as usize);
+                assert!(a.ii >= b.ii, "pressure can only push the II up");
+            }
+            // Blind lines are byte-unchanged; pressure lines grow fields.
+            let line = measurement_json_line_opts(0, a, false);
+            assert!(line.contains("\"press_limit\":"), "{line}");
+            assert!(!measurement_json_line(0, b).contains("press_limit"));
+        }
+        assert!(fits > 0, "a 16-register file fits some small loops");
+        let agg = corpus_jsonl_opts(&aware, false);
+        assert!(agg.contains("\"press_fit\":"), "{agg}");
+        assert!(agg.contains("\"peak_max_live\":"), "{agg}");
+    }
+
+    #[test]
+    fn pressure_corpus_is_thread_invariant() {
+        let corpus = corpus_of_size(10, 10);
+        let machine = ims_machine::cydra_rf(12);
+        let one = measure_corpus_pressure(&corpus, &machine, 6.0, 12, 1);
+        let four = measure_corpus_pressure(&corpus, &machine, 6.0, 12, 4);
+        assert_eq!(corpus_jsonl(&one), corpus_jsonl(&four));
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl<O: SchedObserver> SchedObserver for ProfObserver<'_, O> {
     fn attempt_done(&mut self, ii: i64, ok: bool) {
         self.inner.attempt_done(ii, ok);
     }
+    fn placement_vetoed(&mut self, node: NodeId, time: i64) -> bool {
+        self.inner.placement_vetoed(node, time)
+    }
+    fn attempt_accept(&mut self, ii: i64, schedule: &ims_core::Schedule) -> bool {
+        self.inner.attempt_accept(ii, schedule)
+    }
 }
 
 /// Files a scheduler run's [`Counters`] under the profiler's phase names.
@@ -180,6 +186,82 @@ pub fn measure_loop_profiled<O: SchedObserver>(
     profile_backend_tail(&body, &problem, &outcome.schedule, reg);
     whole.finish(reg);
     m
+}
+
+/// [`crate::measure_loop_pressure`] plus a full phase profile: identical
+/// measurements, with the register-pressure work (`press.maxlive.updates`,
+/// `press.rejects`, `press.ii_bumps`) filed alongside every other phase's
+/// deterministic counters.
+pub fn measure_loop_pressure_profiled<O: SchedObserver>(
+    l: &CorpusLoop,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    limit: u32,
+    observer: &mut O,
+    reg: &mut MetricsRegistry,
+) -> LoopMeasurement {
+    let whole = PhaseTimer::start(phase::WALL_LOOP);
+
+    let t = PhaseTimer::start(phase::WALL_BUILD);
+    let body = back_substitute(&l.body, machine);
+    let problem = build_problem(&body, machine, &BuildOptions::default());
+    t.finish(reg);
+
+    let t = PhaseTimer::start(phase::WALL_SCHED);
+    let t0 = std::time::Instant::now();
+    let run = {
+        let mut prof = ProfObserver::new(observer, reg);
+        crate::schedule_pressure(&body, &problem, budget_ratio, limit, &mut prof)
+    };
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    t.finish(reg);
+
+    reg.add(phase::SCHED_STEPS, run.outcome.stats.total_steps());
+    flush_counters(&run.outcome.stats.counters, reg);
+    reg.add(phase::PRESS_MAXLIVE_UPDATES, run.updates);
+    reg.add(phase::PRESS_REJECTS, run.rejects);
+    reg.add(phase::PRESS_II_BUMPS, run.ii_bumps);
+    reg.add(phase::CORPUS_LOOPS, 1);
+    reg.add(phase::CORPUS_OPS, problem.num_ops() as u64);
+
+    let mut m = finish_measurement(&problem, l, run.outcome.mii.res_mii,
+        run.outcome.mii.rec_mii, run.outcome.mii.mii, &run.outcome.schedule);
+    m.final_steps = run.outcome.stats.final_steps();
+    m.total_steps = run.outcome.stats.total_steps();
+    m.counters = run.outcome.stats.counters;
+    m.wall_ns = wall_ns;
+    m.press = Some(run.press);
+
+    profile_backend_tail(&body, &problem, &run.outcome.schedule, reg);
+    whole.finish(reg);
+    m
+}
+
+/// [`crate::measure_corpus_pressure`] with a merged [`MetricsRegistry`]
+/// profile of the whole run — the `--pressure-limit` + `--profile` path.
+/// Per-loop registries merge in corpus order, so the deterministic
+/// sections (including `press.*`) are independent of `threads`.
+pub fn measure_corpus_pressure_profiled(
+    corpus: &Corpus,
+    machine: &MachineModel,
+    budget_ratio: f64,
+    limit: u32,
+    threads: usize,
+) -> (Vec<LoopMeasurement>, MetricsRegistry) {
+    let per_loop = pool::par_map(&corpus.loops, threads, |_, l| {
+        let mut reg = MetricsRegistry::new();
+        let mut null = NullObserver;
+        let m =
+            measure_loop_pressure_profiled(l, machine, budget_ratio, limit, &mut null, &mut reg);
+        (m, reg)
+    });
+    let mut ms = Vec::with_capacity(per_loop.len());
+    let mut total = MetricsRegistry::new();
+    for (m, reg) in per_loop {
+        total.merge(&reg);
+        ms.push(m);
+    }
+    (ms, total)
 }
 
 /// [`crate::measure_loop_exact`] plus a full phase profile: the exact

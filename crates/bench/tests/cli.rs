@@ -227,6 +227,56 @@ fn drivers_reject_malformed_backend_values() {
 }
 
 #[test]
+fn corpus_rejects_malformed_pressure_limits() {
+    // `--pressure-limit` funnels into `pool::pressure_or_exit`: malformed
+    // or zero values are the same hard error as a malformed `--threads`,
+    // never a silent "pressure off".
+    for args in [
+        &["--pressure-limit", "lots"][..],
+        &["--pressure-limit=2.5"][..],
+        &["--pressure-limit", "0"][..],
+        &["--pressure-limit=-4"][..],
+        &["--pressure-limit"][..], // value missing entirely
+    ] {
+        let out = run(env!("CARGO_BIN_EXE_corpus"), args);
+        assert_eq!(code(&out), 2, "{args:?}");
+        let err = stderr(&out);
+        assert!(err.contains("usage:"), "{args:?} -> {err}");
+        assert!(err.contains("--pressure-limit"), "{args:?} -> {err}");
+        assert!(out.stdout.is_empty(), "no partial output on a bad flag");
+    }
+
+    // Well-formed, but only the iterative backend tracks pressure, and a
+    // pressure run cannot also stream per-loop traces.
+    let out = run(
+        env!("CARGO_BIN_EXE_corpus"),
+        &["--pressure-limit", "16", "--backend", "exact", "--loops", "1"],
+    );
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("--backend ims"), "{}", stderr(&out));
+    let out = run(
+        env!("CARGO_BIN_EXE_corpus"),
+        &["--pressure-limit", "16", "--trace", "/tmp/ims_press_trace", "--loops", "1"],
+    );
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
+}
+
+#[test]
+fn corpus_pressure_lines_carry_the_verdict() {
+    let out = run(
+        env!("CARGO_BIN_EXE_corpus"),
+        &["--pressure-limit", "16", "--loops", "2", "--threads", "1"],
+    );
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"press_limit\":16"), "{text}");
+    assert!(text.contains("\"press_ok\":"), "{text}");
+    assert!(text.contains("\"max_live\":"), "{text}");
+    assert!(text.contains("\"press_fit\":"), "aggregate line: {text}");
+}
+
+#[test]
 fn corpus_accepts_the_sat_backend() {
     let out = run(
         env!("CARGO_BIN_EXE_corpus"),

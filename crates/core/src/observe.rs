@@ -31,6 +31,17 @@
 //! II, and [`budget_exhausted`](SchedObserver::budget_exhausted) fires
 //! when an attempt runs out of its `BudgetRatio · N` step budget.
 //!
+//! Two hooks are *consulted* rather than merely notified:
+//! [`placement_vetoed`](SchedObserver::placement_vetoed) lets an observer
+//! reject a resource-free slot inside `FindTimeSlot` (the slot is then
+//! treated exactly like a resource conflict; the forced-slot rule still
+//! bypasses the veto so forward progress is preserved), and
+//! [`attempt_accept`](SchedObserver::attempt_accept) lets an observer
+//! reject a completed schedule at a candidate II, forcing the II to be
+//! bumped. Both default to "no objection", so every existing observer is
+//! unaffected; `ims-press` implements them to enforce a register-pressure
+//! limit.
+//!
 //! Replaying events 2–4 (set the node's time on `op_scheduled`, clear it
 //! on `op_evicted`) reconstructs the final schedule exactly; the
 //! workspace's property tests rely on this.
@@ -38,6 +49,7 @@
 use ims_graph::NodeId;
 
 use crate::backend::BackendKind;
+use crate::sched::Schedule;
 
 /// Receiver for scheduler events; all hooks default to no-ops, so an
 /// observer only implements the events it cares about.
@@ -102,6 +114,26 @@ pub trait SchedObserver {
     fn attempt_done(&mut self, ii: i64, ok: bool) {
         let _ = (ii, ok);
     }
+
+    /// `FindTimeSlot` found a resource-free slot for `node` at `time`;
+    /// return `true` to veto it, in which case the scheduler treats the
+    /// slot as a resource conflict and keeps searching. The forced-slot
+    /// rule (§3.4) deliberately bypasses this hook so a veto can never
+    /// stall the schedule; attempt-level acceptance arbitrates instead.
+    /// Defaults to `false` (never veto), which folds away entirely.
+    fn placement_vetoed(&mut self, node: NodeId, time: i64) -> bool {
+        let _ = (node, time);
+        false
+    }
+
+    /// The attempt at `ii` scheduled every operation; return `false` to
+    /// reject the completed `schedule`, recording the attempt as failed
+    /// and bumping the candidate II. Defaults to `true` (accept), which
+    /// folds away entirely.
+    fn attempt_accept(&mut self, ii: i64, schedule: &Schedule) -> bool {
+        let _ = (ii, schedule);
+        true
+    }
 }
 
 /// The default do-nothing observer: every hook is an empty inline body,
@@ -140,6 +172,12 @@ impl<O: SchedObserver + ?Sized> SchedObserver for &mut O {
     fn attempt_done(&mut self, ii: i64, ok: bool) {
         (**self).attempt_done(ii, ok);
     }
+    fn placement_vetoed(&mut self, node: NodeId, time: i64) -> bool {
+        (**self).placement_vetoed(node, time)
+    }
+    fn attempt_accept(&mut self, ii: i64, schedule: &Schedule) -> bool {
+        (**self).attempt_accept(ii, schedule)
+    }
 }
 
 #[cfg(test)]
@@ -158,9 +196,26 @@ mod tests {
         fn op_scheduled(&mut self, _: NodeId, _: i64, _: usize, _: bool) {
             self.events += 1;
         }
+        fn placement_vetoed(&mut self, _: NodeId, _: i64) -> bool {
+            self.events += 1;
+            true
+        }
+        fn attempt_accept(&mut self, _: i64, _: &Schedule) -> bool {
+            self.events += 1;
+            false
+        }
     }
 
-    fn fire_all<O: SchedObserver>(obs: &mut O) {
+    fn dummy_schedule() -> Schedule {
+        Schedule {
+            ii: 2,
+            time: vec![0, 0, 2],
+            alternative: vec![0, 0, 0],
+            length: 2,
+        }
+    }
+
+    fn fire_all<O: SchedObserver>(obs: &mut O) -> (bool, bool) {
         obs.backend(BackendKind::Ims);
         obs.attempt_start(2, 10);
         obs.op_scheduled(NodeId(1), 0, 0, false);
@@ -169,17 +224,24 @@ mod tests {
         obs.estart_computed(NodeId(1), 3);
         obs.budget_exhausted(2, 10);
         obs.attempt_done(2, false);
+        let vetoed = obs.placement_vetoed(NodeId(1), 0);
+        let accepted = obs.attempt_accept(2, &dummy_schedule());
+        (vetoed, accepted)
     }
 
     #[test]
     fn null_observer_accepts_every_hook() {
-        fire_all(&mut NullObserver);
+        let (vetoed, accepted) = fire_all(&mut NullObserver);
+        assert!(!vetoed, "default never vetoes a placement");
+        assert!(accepted, "default always accepts an attempt");
     }
 
     #[test]
     fn mut_reference_forwards_every_overridden_hook() {
         let mut c = CountingObserver::default();
-        fire_all(&mut &mut c);
-        assert_eq!(c.events, 2, "the two overridden hooks forwarded");
+        let (vetoed, accepted) = fire_all(&mut &mut c);
+        assert_eq!(c.events, 4, "the four overridden hooks forwarded");
+        assert!(vetoed, "forwarding returns the inner veto verdict");
+        assert!(!accepted, "forwarding returns the inner acceptance verdict");
     }
 }

@@ -57,6 +57,17 @@ pub struct SchedConfig {
     pub max_ii: Option<i64>,
     /// The scheduling priority function (§3.2); HeightR by default.
     pub priority: PriorityKind,
+    /// Register-pressure limit (rotating-register-file capacity). The
+    /// scheduler itself never inspects the value beyond error reporting:
+    /// enforcement lives in the [`SchedObserver`] hooks
+    /// [`placement_vetoed`](SchedObserver::placement_vetoed) and
+    /// [`attempt_accept`](SchedObserver::attempt_accept) (implemented by
+    /// `ims-press`). Setting the limit here (a) documents the run as
+    /// pressure-constrained and (b) turns cap exhaustion into the
+    /// structured [`ScheduleError::PressureInfeasible`]. `None` (the
+    /// default) is the pressure-blind scheduler, bit-identical to all
+    /// prior releases.
+    pub pressure_limit: Option<u32>,
 }
 
 impl Default for SchedConfig {
@@ -65,6 +76,7 @@ impl Default for SchedConfig {
             budget_ratio: 2.0,
             max_ii: None,
             priority: PriorityKind::default(),
+            pressure_limit: None,
         }
     }
 }
@@ -94,6 +106,14 @@ impl SchedConfig {
     /// Selects the scheduling priority function (§3.2).
     pub fn priority(mut self, priority: PriorityKind) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Declares the run pressure-constrained to `limit` registers (see
+    /// [`SchedConfig::pressure_limit`]). Pair with a pressure-enforcing
+    /// observer such as `ims_press::PressureObserver`.
+    pub fn pressure_limit(mut self, limit: u32) -> Self {
+        self.pressure_limit = Some(limit);
         self
     }
 
@@ -217,6 +237,19 @@ pub enum ScheduleError {
         /// Operation-scheduling steps spent across all failed attempts.
         spent: u64,
     },
+    /// A pressure-constrained run (`SchedConfig::pressure_limit` set)
+    /// exhausted every candidate II up to the cap: the observer rejected
+    /// each completed schedule, or its placement vetoes made the attempts
+    /// burn their budgets before completing. Either way the loop's values
+    /// do not fit the declared register file up to the cap. Replaces
+    /// [`BudgetExhausted`](ScheduleError::BudgetExhausted) whenever the
+    /// limit is set.
+    PressureInfeasible {
+        /// The configured register-pressure limit.
+        limit: u32,
+        /// The last (largest) candidate II attempted.
+        last_ii: i64,
+    },
 }
 
 /// Legacy name for [`ScheduleError`], kept so pre-builder callers
@@ -237,6 +270,13 @@ impl std::fmt::Display for ScheduleError {
                     f,
                     "no modulo schedule found up to II {last_ii} \
                      ({spent} scheduling steps spent)"
+                )
+            }
+            ScheduleError::PressureInfeasible { limit, last_ii } => {
+                write!(
+                    f,
+                    "no schedule fits the register-pressure limit {limit} \
+                     up to II {last_ii}"
                 )
             }
         }
@@ -355,17 +395,24 @@ pub fn modulo_schedule_observed<O: SchedObserver>(
             &mut counters,
             observer,
         );
-        let succeeded = result.is_some();
+        // A complete schedule must still pass the observer's acceptance
+        // check (register pressure, in the ims-press observer); a rejected
+        // attempt is recorded as failed and the II is bumped, exactly like
+        // a budget exhaustion at this II.
+        let succeeded = match result {
+            Some(ref schedule) => observer.attempt_accept(ii, schedule),
+            None => false,
+        };
         observer.attempt_done(ii, succeeded);
         stats.attempts.push(IiAttempt {
             ii,
             steps,
             succeeded,
         });
-        if let Some(schedule) = result {
+        if succeeded {
             stats.counters = counters;
             return Ok(SchedOutcome {
-                schedule,
+                schedule: result.expect("accepted attempt has a schedule"),
                 mii,
                 stats,
             });
@@ -373,6 +420,14 @@ pub fn modulo_schedule_observed<O: SchedObserver>(
         ii += 1;
     }
     stats.counters = counters;
+    // Under a pressure limit, cap exhaustion is a register-file verdict
+    // either way: the observer rejected completed schedules outright, or
+    // its placement vetoes made every attempt burn its budget before
+    // completing. Both mean "this loop does not fit the declared file up
+    // to the cap".
+    if let Some(limit) = config.pressure_limit {
+        return Err(ScheduleError::PressureInfeasible { limit, last_ii: cap });
+    }
     Err(ScheduleError::BudgetExhausted {
         last_ii: cap,
         spent: stats.total_steps(),
@@ -533,7 +588,13 @@ pub fn iterative_schedule_observed<O: SchedObserver>(
                         .alternatives
                         .iter()
                         .position(|a| !mrt.conflicts(a.mask(), cur));
-                    if free.is_some() {
+                    // A resource-free slot can still be vetoed by the
+                    // observer (register pressure, in ims-press); a veto is
+                    // treated exactly like a resource conflict. If every
+                    // slot in the window is vetoed, the forced-slot rule
+                    // below places anyway — forward progress is preserved
+                    // and the attempt-level acceptance check arbitrates.
+                    if free.is_some() && !observer.placement_vetoed(node, cur) {
                         found = Some(cur);
                     } else {
                         cur += 1;
@@ -897,6 +958,99 @@ mod tests {
         let out = modulo_schedule(&p, &SchedConfig::default()).unwrap();
         assert_eq!(out.schedule.time_of(p.start()), 0);
         assert!(out.schedule.time.iter().all(|&t| t >= 0));
+    }
+
+    /// Vetoes every placement and/or rejects the first `reject` attempts.
+    #[derive(Default)]
+    struct StrictObserver {
+        veto_all: bool,
+        reject: usize,
+        vetoes_asked: u64,
+        accepts_asked: u64,
+    }
+
+    impl crate::SchedObserver for StrictObserver {
+        fn placement_vetoed(&mut self, _: ims_graph::NodeId, _: i64) -> bool {
+            self.vetoes_asked += 1;
+            self.veto_all
+        }
+        fn attempt_accept(&mut self, _: i64, _: &Schedule) -> bool {
+            self.accepts_asked += 1;
+            if self.reject > 0 {
+                self.reject -= 1;
+                false
+            } else {
+                true
+            }
+        }
+    }
+
+    #[test]
+    fn veto_of_every_slot_cannot_stall_the_scheduler() {
+        // The forced-slot rule bypasses the veto, so even an observer that
+        // vetoes every resource-free slot still yields a valid schedule.
+        let m = minimal();
+        let p = chain(&m, &[Opcode::Add, Opcode::Mul, Opcode::Add]);
+        let mut obs = StrictObserver {
+            veto_all: true,
+            ..Default::default()
+        };
+        let out = modulo_schedule_observed(&p, &SchedConfig::default(), &mut obs).unwrap();
+        assert!(obs.vetoes_asked > 0, "the veto hook was consulted");
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
+    }
+
+    #[test]
+    fn rejected_attempts_bump_the_ii() {
+        let m = minimal();
+        let p = chain(&m, &[Opcode::Add, Opcode::Add]);
+        let baseline = modulo_schedule(&p, &SchedConfig::default()).unwrap();
+        let mut obs = StrictObserver {
+            reject: 2,
+            ..Default::default()
+        };
+        let out = modulo_schedule_observed(&p, &SchedConfig::default(), &mut obs).unwrap();
+        assert_eq!(out.schedule.ii, baseline.schedule.ii + 2);
+        assert_eq!(obs.accepts_asked, 3, "each completed attempt was judged");
+        // The rejected attempts are recorded as failures.
+        let failed = out.stats.attempts.iter().filter(|a| !a.succeeded).count();
+        assert_eq!(failed, 2);
+        assert!(validate_schedule(&p, &out.schedule).is_ok());
+    }
+
+    #[test]
+    fn rejection_up_to_the_cap_is_pressure_infeasible_when_a_limit_is_set() {
+        let m = minimal();
+        let p = chain(&m, &[Opcode::Add, Opcode::Add]);
+        let cfg = SchedConfig::new().max_ii(5).pressure_limit(1);
+        let mut obs = StrictObserver {
+            reject: usize::MAX,
+            ..Default::default()
+        };
+        let err = modulo_schedule_observed(&p, &cfg, &mut obs).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::PressureInfeasible {
+                limit: 1,
+                last_ii: 5
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn rejection_without_a_limit_reports_budget_exhaustion() {
+        // The acceptance seam is generic: without `pressure_limit` set the
+        // error stays the plain cap-exhaustion one.
+        let m = minimal();
+        let p = chain(&m, &[Opcode::Add, Opcode::Add]);
+        let cfg = SchedConfig::new().max_ii(4);
+        let mut obs = StrictObserver {
+            reject: usize::MAX,
+            ..Default::default()
+        };
+        let err = modulo_schedule_observed(&p, &cfg, &mut obs).unwrap_err();
+        assert!(matches!(err, ScheduleError::BudgetExhausted { last_ii: 4, .. }));
     }
 }
 

@@ -27,6 +27,11 @@ const DIV_LATENCY: u32 = 22;
 const SQRT_LATENCY: u32 = 26;
 const BRANCH_LATENCY: u32 = 3;
 
+/// Rotating-register-file capacity declared on the Cydra-like machines.
+/// The Cydra 5's iteration frames rotate inside a 64-register window; the
+/// synthetic [`cydra_rf`] variants shrink this to study pressure.
+const CYDRA_REGISTER_FILE: u32 = 64;
+
 /// Instruction-format fields per cycle (issue width). §2.1 lists "a field
 /// in the instruction format" among the resources a reservation table may
 /// claim; every operation occupies one field on its issue cycle. The width
@@ -80,7 +85,24 @@ fn cross_with_fields(
 /// studying the scheduler under pressure but does not match the machine
 /// the paper's experiments ran on.
 pub fn cydra() -> MachineModel {
-    build_cydra_complex("cydra", false)
+    build_cydra_complex("cydra", false, CYDRA_REGISTER_FILE)
+}
+
+/// The [`cydra`] machine with its rotating register file shrunk to `n`
+/// registers (name `cydra_rf{n}`): identical resources, latencies, and
+/// reservation tables, but a pressure-aware run
+/// (`SchedConfig::pressure_limit(n)` plus the `ims-press` observer) must
+/// fit every schedule's MaxLive and rotating allocation into `n` names.
+/// This is the tight-register corpus family behind `corpus
+/// --pressure-limit N` and the Table-2-style pressure results in
+/// `EXPERIMENTS.md`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn cydra_rf(n: u32) -> MachineModel {
+    assert!(n > 0, "register file size must be positive");
+    build_cydra_complex(&format!("cydra_rf{n}"), false, n)
 }
 
 /// The literal machine of the paper's Figure 1: identical to [`cydra`]
@@ -90,11 +112,12 @@ pub fn cydra() -> MachineModel {
 /// `mul_latency − add_latency` cycles after a multiply (result-bus
 /// collision).
 pub fn figure1_machine() -> MachineModel {
-    build_cydra_complex("figure1", true)
+    build_cydra_complex("figure1", true, CYDRA_REGISTER_FILE)
 }
 
-fn build_cydra_complex(name: &str, shared_buses: bool) -> MachineModel {
+fn build_cydra_complex(name: &str, shared_buses: bool, register_file: u32) -> MachineModel {
     let mut b = MachineBuilder::new(name);
+    b.register_file(register_file);
     let fields: Vec<_> = (0..ISSUE_WIDTH)
         .map(|k| b.resource(format!("instr_field{k}")))
         .collect();
@@ -248,6 +271,7 @@ fn build_cydra_complex(name: &str, shared_buses: bool) -> MachineModel {
 /// on the multiplier so the single multiplier is still a genuine bottleneck.
 pub fn cydra_simple() -> MachineModel {
     let mut b = MachineBuilder::new("cydra_simple");
+    b.register_file(CYDRA_REGISTER_FILE);
     let fields: Vec<_> = (0..ISSUE_WIDTH)
         .map(|k| b.resource(format!("instr_field{k}")))
         .collect();
@@ -502,6 +526,38 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn wide_zero_panics() {
         let _ = wide(0);
+    }
+
+    #[test]
+    fn register_files_are_declared_on_the_cydra_family() {
+        assert_eq!(cydra().register_file(), Some(64));
+        assert_eq!(cydra_simple().register_file(), Some(64));
+        assert_eq!(figure1_machine().register_file(), Some(64));
+        assert_eq!(minimal().register_file(), None);
+        assert_eq!(wide(2).register_file(), None);
+    }
+
+    #[test]
+    fn cydra_rf_shrinks_only_the_register_file() {
+        let rf = cydra_rf(16);
+        assert_eq!(rf.name(), "cydra_rf16");
+        assert_eq!(rf.register_file(), Some(16));
+        let base = cydra();
+        assert_eq!(rf.num_resources(), base.num_resources());
+        for op in Opcode::ALL {
+            assert_eq!(rf.latency(op), base.latency(op), "{op}");
+            assert_eq!(
+                rf.info(op).alternatives.len(),
+                base.info(op).alternatives.len(),
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register file size must be positive")]
+    fn cydra_rf_zero_panics() {
+        let _ = cydra_rf(0);
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod mask;
 mod model;
 mod reservation;
 
-pub use cydra::{cydra, cydra_simple, figure1_machine, minimal, single_alu, wide};
+pub use cydra::{cydra, cydra_rf, cydra_simple, figure1_machine, minimal, single_alu, wide};
 pub use mask::{ConflictMask, MaskEntry};
 pub use model::{Alternative, MachineBuilder, MachineModel, OpcodeInfo, Resource, ResourceId};
 pub use reservation::{ReservationTable, TableClass};

@@ -80,12 +80,22 @@ pub struct MachineModel {
     name: String,
     resources: Vec<Resource>,
     info: BTreeMap<Opcode, OpcodeInfo>,
+    register_file: Option<u32>,
 }
 
 impl MachineModel {
     /// The machine's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The declared rotating-register-file capacity, when this machine
+    /// has one. A pressure-aware scheduling run (`SchedConfig::pressure_limit`
+    /// plus the `ims-press` observer) keeps MaxLive and the rotating
+    /// allocation within this many registers; `None` means the register
+    /// file is unbounded (the paper's post-scheduling view).
+    pub fn register_file(&self) -> Option<u32> {
+        self.register_file
     }
 
     /// Number of resources.
@@ -184,6 +194,7 @@ pub struct MachineBuilder {
     /// compiled in [`MachineBuilder::build`], once the final resource
     /// count is known.
     ops: BTreeMap<Opcode, (u32, Vec<(String, ReservationTable)>)>,
+    register_file: Option<u32>,
 }
 
 impl MachineBuilder {
@@ -193,7 +204,20 @@ impl MachineBuilder {
             name: name.into(),
             resources: Vec::new(),
             ops: BTreeMap::new(),
+            register_file: None,
         }
+    }
+
+    /// Declares the rotating-register-file capacity (see
+    /// [`MachineModel::register_file`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn register_file(&mut self, size: u32) -> &mut Self {
+        assert!(size > 0, "register file size must be positive");
+        self.register_file = Some(size);
+        self
     }
 
     /// Declares a resource, returning its id.
@@ -278,6 +302,7 @@ impl MachineBuilder {
             name: self.name,
             resources: self.resources,
             info,
+            register_file: self.register_file,
         }
     }
 }
@@ -350,6 +375,22 @@ mod tests {
         assert_eq!(alt.mask().footprint(), alt.table.footprint());
         assert_eq!(alt.mask().entries().len(), 1);
         assert_eq!(alt.mask().entries()[0].mask, 0b1);
+    }
+
+    #[test]
+    fn register_file_defaults_to_unbounded_and_is_declarable() {
+        assert_eq!(tiny().register_file(), None);
+        let mut b = MachineBuilder::new("rf");
+        let alu = b.resource("alu");
+        b.op(Opcode::Add, 1, vec![("alu", ReservationTable::simple(alu))]);
+        b.register_file(32);
+        assert_eq!(b.build().register_file(), Some(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "register file size must be positive")]
+    fn zero_register_file_panics() {
+        MachineBuilder::new("rf0").register_file(0);
     }
 
     #[test]

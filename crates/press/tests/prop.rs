@@ -1,0 +1,106 @@
+//! Property test for the incremental pressure tracker: after any random
+//! place/evict script ending in a full placement, [`PressureModel::max_live`]
+//! must equal MaxLive recomputed from scratch via `ims_codegen::lifetimes`
+//! on the final schedule — the two share only the `resolve_use` rule, so a
+//! row-arithmetic or incremental-update bug cannot hide in both.
+
+use ims_codegen::lifetimes;
+use ims_core::Schedule;
+use ims_deps::{build_problem, node_of, BuildOptions};
+use ims_loopgen::{generate_loop, SynthConfig};
+use ims_machine::cydra;
+use ims_press::{shapes_from_body, PressureModel};
+use ims_testkit::{check, prop_assert_eq, Gen, PropConfig, Regression, Xoshiro256};
+
+/// A generated workload: loop seed/shape, candidate II, a place/evict
+/// toggle script over `(op, time)` pairs, and fallback times for whatever
+/// the script leaves unplaced.
+type Script = (u64, usize, i64, Vec<(usize, i64)>, Vec<i64>);
+
+fn gen_script(g: &mut Gen) -> Script {
+    let seed = g.u64();
+    let ops_target = g.usize_in(3, 18);
+    let ii = g.i64_in(1, 12);
+    let script = g.vec_with(30, |g| (g.usize_in(0, 64), g.i64_in(0, 40)));
+    let final_times = (0..64).map(|_| g.i64_in(0, 40)).collect();
+    (seed, ops_target, ii, script, final_times)
+}
+
+#[test]
+fn incremental_max_live_matches_codegen_lifetimes() {
+    check(
+        "incremental_max_live_matches_codegen_lifetimes",
+        &PropConfig::with_cases(96),
+        &[Regression::new(0x5eed_11fe_0000_0001, 12)],
+        gen_script,
+        |(seed, ops_target, ii, script, final_times)| {
+            let (seed, ops_target, ii) = (*seed, *ops_target, *ii);
+            let config = SynthConfig {
+                ops_target,
+                recurrences: vec![],
+                with_branch: false,
+            };
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let body = generate_loop(&mut rng, &config);
+            let machine = cydra();
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let num_nodes = problem.graph().num_nodes();
+            let num_ops = problem.num_ops();
+
+            let shapes = shapes_from_body(&body, &problem);
+            let mut model = PressureModel::new(shapes, num_nodes, ii);
+            // Drive the tracker through arbitrary churn: toggle each
+            // scripted op between placed and evicted, like the iterative
+            // scheduler's displacement loop does.
+            let mut times: Vec<Option<i64>> = vec![None; num_ops];
+            for &(pick, t) in script {
+                let op = pick % num_ops;
+                let node = node_of(ims_ir::OpId(op as u32));
+                if times[op].is_some() {
+                    times[op] = None;
+                    model.evict(node);
+                } else {
+                    times[op] = Some(t);
+                    model.place(node, t);
+                }
+            }
+            // Finish with a full (not necessarily legal) placement — the
+            // lifetime arithmetic is schedule-validity-agnostic.
+            for op in 0..num_ops {
+                if times[op].is_none() {
+                    let t = final_times[op % final_times.len()];
+                    times[op] = Some(t);
+                    model.place(node_of(ims_ir::OpId(op as u32)), t);
+                }
+            }
+
+            // From-scratch oracle: codegen lifetimes over the final
+            // schedule, summed into per-row live counts.
+            let mut time = vec![0i64; num_nodes];
+            for op in 0..num_ops {
+                time[op + 1] = times[op].expect("fully placed");
+            }
+            let schedule = Schedule {
+                ii,
+                time,
+                alternative: vec![0; num_nodes],
+                length: 0,
+            };
+            let lts = lifetimes(&body, &problem, &schedule);
+            let oracle = (0..ii)
+                .map(|r| {
+                    lts.iter()
+                        .map(|lt| {
+                            let len = lt.death - lt.birth + 1;
+                            let extra = ((r - lt.birth).rem_euclid(ii) < len % ii) as u32;
+                            (len / ii) as u32 + extra
+                        })
+                        .sum::<u32>()
+                })
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(model.max_live(), oracle, "II {} over {} ops", ii, num_ops);
+            Ok(())
+        },
+    );
+}

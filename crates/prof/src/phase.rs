@@ -111,6 +111,17 @@ pub const PORTFOLIO_WINS_EXACT: &str = "portfolio.wins.exact";
 /// Races won by the SAT backend.
 pub const PORTFOLIO_WINS_SAT: &str = "portfolio.wins.sat";
 
+// ---- register pressure (ims-press) ----
+/// Lifetime-interval applications/removals by the incremental MaxLive
+/// tracker (each costs O(lifetime length) row updates).
+pub const PRESS_MAXLIVE_UPDATES: &str = "press.maxlive.updates";
+/// Placements vetoed for exceeding the pressure limit (`FindTimeSlot`
+/// treats the slot as a resource conflict and keeps searching).
+pub const PRESS_REJECTS: &str = "press.rejects";
+/// Completed attempts rejected for pressure (MaxLive or rotating fit),
+/// each bumping the candidate II.
+pub const PRESS_II_BUMPS: &str = "press.ii_bumps";
+
 // ---- code generation (ims-codegen) ----
 /// Instructions emitted (prologue + unrolled kernel + coda).
 pub const CODEGEN_INSTS: &str = "codegen.insts";
@@ -205,6 +216,9 @@ pub const REGISTRY: &[PhaseDesc] = &[
     PhaseDesc { name: PORTFOLIO_WINS_IMS, kind: PhaseKind::Counter, what: "portfolio races won by the iterative backend" },
     PhaseDesc { name: PORTFOLIO_WINS_EXACT, kind: PhaseKind::Counter, what: "portfolio races won by branch-and-bound" },
     PhaseDesc { name: PORTFOLIO_WINS_SAT, kind: PhaseKind::Counter, what: "portfolio races won by the SAT backend" },
+    PhaseDesc { name: PRESS_MAXLIVE_UPDATES, kind: PhaseKind::Counter, what: "lifetime-interval updates by the MaxLive tracker" },
+    PhaseDesc { name: PRESS_REJECTS, kind: PhaseKind::Counter, what: "placements vetoed for exceeding the pressure limit" },
+    PhaseDesc { name: PRESS_II_BUMPS, kind: PhaseKind::Counter, what: "attempts rejected for pressure, bumping the II" },
     PhaseDesc { name: CODEGEN_INSTS, kind: PhaseKind::Counter, what: "instructions emitted (prologue+kernel+coda)" },
     PhaseDesc { name: CODEGEN_UNROLL, kind: PhaseKind::Counter, what: "kernel unroll factors (summed)" },
     PhaseDesc { name: CODEGEN_STAGES, kind: PhaseKind::Counter, what: "kernel stage counts (summed)" },

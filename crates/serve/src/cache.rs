@@ -9,8 +9,8 @@
 //! * the machine name, the backend spec in canonical form (so
 //!   `portfolio( sat , ims )` and `portfolio(sat,ims)` share an entry
 //!   while member *order* still distinguishes keys — it breaks winner
-//!   ties), the `budget_ratio` bit pattern, `max_ii`, and `node_limit`
-//!   (everything that can change the answer),
+//!   ties), the `budget_ratio` bit pattern, `max_ii`, `node_limit`, and
+//!   `pressure_limit` (everything that can change the answer),
 //! * the canonical graph encoding (labels + edges, canonically ordered).
 //!
 //! The request `id` is **not** hashed, and neither is anything about node
@@ -90,7 +90,8 @@ fn canonical_problem(req: &Request, form: &CanonicalForm) -> CanonProblem {
 /// exact inventory of what is and is not hashed.
 fn cache_key(req: &Request, canon: &CanonProblem) -> u128 {
     let mut bytes: Vec<u8> = Vec::new();
-    bytes.extend_from_slice(b"ims-serve-key-v2\0");
+    // v3: the key grew the pressure_limit field.
+    bytes.extend_from_slice(b"ims-serve-key-v3\0");
     bytes.extend_from_slice(req.machine.as_bytes());
     bytes.push(0);
     bytes.extend_from_slice(req.backend.canonical().as_bytes());
@@ -108,6 +109,13 @@ fn cache_key(req: &Request, canon: &CanonProblem) -> u128 {
         Some(n) => {
             bytes.push(1);
             bytes.extend_from_slice(&n.to_be_bytes());
+        }
+    }
+    match req.pressure_limit {
+        None => bytes.push(0),
+        Some(p) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&p.to_be_bytes());
         }
     }
     // The canonical problem is a pure function of the canonical encoding,
@@ -139,6 +147,10 @@ pub enum Entry {
         mii: i64,
         /// Single-iteration schedule length.
         length: i64,
+        /// Peak register pressure (MaxLive) of the accepted schedule —
+        /// recorded only for pressure-limited requests, where it is
+        /// guaranteed `<=` the requested `pressure_limit`.
+        max_live: Option<u32>,
         /// Issue time per canonical operation.
         times: Vec<i64>,
         /// Chosen alternative per canonical operation.
@@ -230,6 +242,7 @@ mod tests {
             r#"{"id":"c","budget_ratio":6.0,"ops":["add"],"edges":[]}"#,
             r#"{"id":"c","max_ii":5,"ops":["add"],"edges":[]}"#,
             r#"{"id":"c","node_limit":10,"ops":["add"],"edges":[]}"#,
+            r#"{"id":"c","pressure_limit":8,"ops":["add"],"edges":[]}"#,
             r#"{"id":"c","ops":["sub"],"edges":[]}"#,
         ] {
             let kv = key_request(&parse_request(variant).unwrap()).key;
@@ -248,6 +261,7 @@ mod tests {
             ii: 2,
             mii: 2,
             length: 4,
+            max_live: None,
             times: vec![0, 2],
             alts: vec![0, 0],
         };

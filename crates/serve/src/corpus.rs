@@ -72,6 +72,7 @@ pub fn gen_requests_backend(seed: u64, n: usize, backend: &ims_core::BackendSpec
                 budget_ratio: 2.0,
                 max_ii: None,
                 node_limit: None,
+                pressure_limit: None,
                 ops,
                 edges,
             }

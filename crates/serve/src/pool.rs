@@ -177,6 +177,70 @@ pub fn backend_or_exit(args: &[String], default: ims_core::BackendSpec) -> ims_c
     }
 }
 
+/// Why a `--pressure-limit` flag could not be resolved to a register
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PressureError {
+    /// `--pressure-limit` was the last argument, with no value following.
+    MissingValue,
+    /// The value was not a decimal integer (carries the offending text).
+    Invalid(String),
+    /// The value parsed as 0, which no register file satisfies: pressure
+    /// enforcement is *off* when the flag is absent, not at limit 0.
+    Zero,
+}
+
+impl std::fmt::Display for PressureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PressureError::MissingValue => write!(f, "--pressure-limit requires a value"),
+            PressureError::Invalid(v) => write!(f, "invalid --pressure-limit value {v:?}"),
+            PressureError::Zero => write!(f, "--pressure-limit must be at least 1"),
+        }
+    }
+}
+
+/// Parses `--pressure-limit N` / `--pressure-limit=N` out of an argument
+/// list — the register-pressure twin of [`parse_threads`], shared by the
+/// drivers that grow a pressure-aware mode. `Ok(None)` when the flag is
+/// absent (pressure enforcement disabled); an error — never a silent
+/// default — when the flag is present but malformed.
+pub fn parse_pressure(args: &[String]) -> Result<Option<u32>, PressureError> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--pressure-limit" {
+            it.next().ok_or(PressureError::MissingValue)?.as_str()
+        } else if let Some(v) = a.strip_prefix("--pressure-limit=") {
+            v
+        } else {
+            continue;
+        };
+        return match value.parse::<u32>() {
+            Ok(0) => Err(PressureError::Zero),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(PressureError::Invalid(value.to_string())),
+        };
+    }
+    Ok(None)
+}
+
+/// [`parse_pressure`] with driver-grade failure handling: resolves the
+/// `--pressure-limit` flag to a register count (or `None` when absent),
+/// exiting the process with status 2 and a usage line on a malformed
+/// value — the same contract as [`threads_or_exit`].
+pub fn pressure_or_exit(args: &[String]) -> Option<u32> {
+    match parse_pressure(args) {
+        Ok(limit) => limit,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: --pressure-limit N  (N >= 1, e.g. --pressure-limit 16 or --pressure-limit=16)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A panic caught inside a pool worker, attributed to the input item
 /// whose closure raised it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -427,6 +491,45 @@ mod tests {
         assert!(msg.contains("magic") && msg.contains("ims, exact, sat"), "{msg}");
         let err = parse_backend(&args(&["bin", "--backend=portfolio(ims,"])).unwrap_err();
         assert!(matches!(err, BackendError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn pressure_flag_parses_both_spellings() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit", "16"])),
+            Ok(Some(16))
+        );
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit=12"])),
+            Ok(Some(12))
+        );
+        assert_eq!(parse_pressure(&args(&["bin"])), Ok(None));
+    }
+
+    #[test]
+    fn pressure_flag_rejects_malformed_values() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit"])),
+            Err(PressureError::MissingValue)
+        );
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit", "lots"])),
+            Err(PressureError::Invalid("lots".into()))
+        );
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit=2.5"])),
+            Err(PressureError::Invalid("2.5".into()))
+        );
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit", "0"])),
+            Err(PressureError::Zero)
+        );
+        assert_eq!(
+            parse_pressure(&args(&["bin", "--pressure-limit=-4"])),
+            Err(PressureError::Invalid("-4".into()))
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@
 use std::collections::HashSet;
 use std::io::{self, BufRead, Write};
 
-use ims_core::{BackendParams, BackendSpec, ProblemBuilder, SchedConfig};
+use ims_core::{BackendKind, BackendParams, BackendSpec, ProblemBuilder, SchedConfig, Scheduler};
+use ims_press::PressureObserver;
 use ims_prof::{phase, MetricsRegistry};
 use ims_sat::default_registry;
 
@@ -45,6 +46,7 @@ struct Job {
     budget_ratio: f64,
     max_ii: Option<i64>,
     node_limit: Option<u64>,
+    pressure_limit: Option<u32>,
     canon: CanonProblem,
 }
 
@@ -78,13 +80,35 @@ fn run_job(job: &Job) -> Entry {
         cfg = cfg.max_ii(m);
     }
     let n = problem.num_ops();
-    let entry_ok = |schedule: &ims_core::Schedule, mii: i64| Entry::Ok {
+    let entry_ok = |schedule: &ims_core::Schedule, mii: i64, max_live: Option<u32>| Entry::Ok {
         ii: schedule.ii,
         mii,
         length: schedule.length,
+        max_live,
         times: (0..n).map(|i| schedule.time[i + 1]).collect(),
         alts: (0..n).map(|i| schedule.alternative[i + 1]).collect(),
     };
+    // A pressure limit steers the iterative scheduler through its
+    // observer seam, so it only composes with the plain ims leaf; the
+    // graph-level MaxLive bound is what the service enforces (the
+    // rotating-allocation fit check needs a loop body, which wire
+    // requests do not carry).
+    if let Some(limit) = job.pressure_limit {
+        if job.backend.as_leaf() != Some(BackendKind::Ims) {
+            return Entry::Failed {
+                error: "schedule failed: pressure_limit requires the ims backend".to_string(),
+            };
+        }
+        let mut obs = PressureObserver::for_problem(&problem, limit);
+        return match Scheduler::new(&problem)
+            .config(cfg.pressure_limit(limit))
+            .observer(&mut obs)
+            .run()
+        {
+            Ok(out) => entry_ok(&out.schedule, out.mii.mii, Some(obs.max_live())),
+            Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
+        };
+    }
     // Any spec the wire accepts resolves here (the registry carries every
     // name the parser knows); keep the failure path anyway so a drifted
     // registry degrades to an error response, not a panic.
@@ -97,7 +121,7 @@ fn run_job(job: &Job) -> Entry {
         Err(e) => return Entry::Failed { error: format!("schedule failed: {e}") },
     };
     match backend.schedule(&problem) {
-        Ok(out) => entry_ok(&out.schedule, out.mii.mii),
+        Ok(out) => entry_ok(&out.schedule, out.mii.mii, None),
         Err(e) => Entry::Failed { error: format!("schedule failed: {e}") },
     }
 }
@@ -123,15 +147,19 @@ fn render_error(id: &str, key: Option<u128>, error: &str) -> String {
 fn render_response(req: &Request, keyed: &Keyed, entry: &Entry) -> String {
     match entry {
         Entry::Failed { error } => render_error(&req.id, Some(keyed.key), error),
-        Entry::Ok { ii, mii, length, times, alts } => {
+        Entry::Ok { ii, mii, length, max_live, times, alts } => {
             let mut s = format!(
-                "{{\"id\":\"{}\",\"ok\":true,\"key\":\"{:032x}\",\"ii\":{},\"mii\":{},\"length\":{},\"times\":[",
+                "{{\"id\":\"{}\",\"ok\":true,\"key\":\"{:032x}\",\"ii\":{},\"mii\":{},\"length\":{}",
                 json::escape(&req.id),
                 keyed.key,
                 ii,
                 mii,
                 length
             );
+            if let Some(m) = max_live {
+                s.push_str(&format!(",\"max_live\":{m}"));
+            }
+            s.push_str(",\"times\":[");
             // Cached times are in canonical order; emit them in the
             // request's own numbering via its permutation.
             for i in 0..req.ops.len() {
@@ -212,6 +240,7 @@ impl Engine {
                     budget_ratio: req.budget_ratio,
                     max_ii: req.max_ii,
                     node_limit: req.node_limit,
+                    pressure_limit: req.pressure_limit,
                     canon: keyed.canon.clone(),
                 });
             }
@@ -517,6 +546,58 @@ mod tests {
         assert_eq!(engine.failed, 1);
         // The rejection happened at parse time: no cache traffic for it.
         assert_eq!(engine.cache.hits + engine.cache.misses, 1);
+    }
+
+    #[test]
+    fn pressure_limited_requests_report_max_live_and_split_the_cache() {
+        let plain = r#"{"id":"free","machine":"cydra_rf8","ops":["load","add","store"],"edges":[[0,1,13,0,"flow",false],[1,2,1,0,"flow",false]]}"#;
+        let limited = r#"{"id":"tight","machine":"cydra_rf8","pressure_limit":8,"ops":["load","add","store"],"edges":[[0,1,13,0,"flow",false],[1,2,1,0,"flow",false]]}"#;
+        let mut engine = Engine::new(1);
+        let out = respond(&mut engine, &[plain, limited, limited]);
+        assert!(out[0].contains("\"ok\":true"), "{}", out[0]);
+        assert!(!out[0].contains("max_live"), "unlimited requests stay unchanged: {}", out[0]);
+        assert!(out[1].contains("\"ok\":true"), "{}", out[1]);
+        let m: u32 = out[1]
+            .split("\"max_live\":")
+            .nth(1)
+            .expect("pressure-limited response carries max_live")
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(m >= 1 && m <= 8, "max_live {m} within the limit");
+        // The limit is part of the key: two entries, one hit on replay.
+        assert_eq!(engine.cache.len(), 2);
+        assert_eq!(out[1], out[2]);
+        // And the whole batch replays identically on a parallel engine.
+        let mut b = Engine::new(4);
+        assert_eq!(respond(&mut b, &[plain, limited, limited]), out);
+    }
+
+    #[test]
+    fn pressure_limits_compose_only_with_the_ims_backend() {
+        let line = r#"{"id":"px","machine":"minimal","backend":"exact","pressure_limit":4,"ops":["add"],"edges":[]}"#;
+        let mut engine = Engine::new(1);
+        let out = respond(&mut engine, &[line]);
+        assert!(out[0].contains("\"ok\":false"), "{}", out[0]);
+        assert!(out[0].contains("pressure_limit requires the ims backend"), "{}", out[0]);
+        assert!(out[0].contains("\"key\":\""), "clean failure still carries the key");
+    }
+
+    #[test]
+    fn infeasible_pressure_limits_fail_with_a_structured_error() {
+        // Two loads feeding one add, with edge delays covering the load
+        // latency: both values are live when the add issues, so no
+        // schedule at any II keeps a single register live.
+        let line = r#"{"id":"inf","machine":"cydra_rf8","pressure_limit":1,"max_ii":3,"ops":["load","load","add"],"edges":[[0,2,20,0,"flow",false],[1,2,20,0,"flow",false]]}"#;
+        let mut engine = Engine::new(1);
+        let out = respond(&mut engine, &[line]);
+        assert!(out[0].contains("\"ok\":false"), "{}", out[0]);
+        assert!(out[0].contains("pressure"), "structured pressure error: {}", out[0]);
+        // Deterministic: the failure replays from cache byte-identically.
+        let again = respond(&mut engine, &[line]);
+        assert_eq!(out[0], again[0]);
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! * `node_limit` (exact backend only; default the [`ExactConfig`]
 //!   default): branch-and-bound node budget. Wall-clock deadlines are
 //!   deliberately not exposed — they would break response determinism.
+//! * `pressure_limit` (iterative backend only; default none): a
+//!   register-pressure cap. The scheduler rejects placements and attempts
+//!   whose MaxLive exceeds it (via `ims-press`), and a capacity that is
+//!   infeasible even at the II cap becomes a structured error response.
+//!   Successful pressure-limited responses add `"max_live":…`.
 //!
 //! A **response** is `{"id":…,"ok":true,"key":…,"ii":…,"mii":…,
 //! "length":…,"times":[…],"alts":[…]}` with `times[i]`/`alts[i]` the
@@ -39,7 +44,9 @@
 use ims_core::BackendSpec;
 use ims_graph::{DepGraph, DepKind};
 use ims_ir::Opcode;
-use ims_machine::{cydra, cydra_simple, figure1_machine, minimal, single_alu, wide, MachineModel};
+use ims_machine::{
+    cydra, cydra_rf, cydra_simple, figure1_machine, minimal, single_alu, wide, MachineModel,
+};
 
 use crate::json::{self, Value};
 
@@ -83,22 +90,25 @@ pub struct Request {
     /// Optional branch-and-bound node budget, exact backend only (part of
     /// the key).
     pub node_limit: Option<u64>,
+    /// Optional register-pressure cap, iterative backend only (part of
+    /// the key).
+    pub pressure_limit: Option<u32>,
     /// The operations, by opcode.
     pub ops: Vec<Opcode>,
     /// The dependence edges over `ops`.
     pub edges: Vec<WireEdge>,
 }
 
-/// Resolves a wire-format machine name to a model. `wide<K>` accepts any
-/// numeric `K` (e.g. `wide3`).
+/// Resolves a wire-format machine name to a model. `wide<K>` and
+/// `cydra_rf<N>` accept any numeric suffix (e.g. `wide3`, `cydra_rf16`).
 ///
 /// # Panics
 ///
-/// Propagates constructor panics (`wide0`: width must be positive).
-/// [`parse_request`] checks only the name *shape*, so such a request
-/// reaches the scheduling worker, whose panic containment turns the
-/// constructor failure into a per-request error response instead of
-/// taking the service down.
+/// Propagates constructor panics (`wide0`: width must be positive;
+/// `cydra_rf0`: register file must be positive). [`parse_request`] checks
+/// only the name *shape*, so such a request reaches the scheduling
+/// worker, whose panic containment turns the constructor failure into a
+/// per-request error response instead of taking the service down.
 pub fn machine_by_name(name: &str) -> Option<MachineModel> {
     match name {
         "cydra" => Some(cydra()),
@@ -107,6 +117,9 @@ pub fn machine_by_name(name: &str) -> Option<MachineModel> {
         "minimal" => Some(minimal()),
         "single_alu" => Some(single_alu()),
         _ => {
+            if let Some(n) = name.strip_prefix("cydra_rf") {
+                return n.parse().ok().map(cydra_rf);
+            }
             let k: usize = name.strip_prefix("wide")?.parse().ok()?;
             Some(wide(k))
         }
@@ -122,6 +135,9 @@ fn machine_name_is_wellformed(name: &str) -> bool {
     ) || name
         .strip_prefix("wide")
         .is_some_and(|k| k.parse::<usize>().is_ok())
+        || name
+            .strip_prefix("cydra_rf")
+            .is_some_and(|n| n.parse::<u32>().is_ok())
 }
 
 fn opcode_by_mnemonic(s: &str) -> Option<Opcode> {
@@ -208,6 +224,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
     };
 
+    let pressure_limit = match obj.get("pressure_limit") {
+        None | Some(Value::Null) => None,
+        Some(m) => {
+            let n = m
+                .as_i64()
+                .ok_or("field \"pressure_limit\" must be an integer")?;
+            if !(1..=u32::MAX as i64).contains(&n) {
+                return Err(format!("pressure_limit must be at least 1, got {n}"));
+            }
+            Some(n as u32)
+        }
+    };
+
     let ops_v = obj
         .get("ops")
         .and_then(Value::as_arr)
@@ -271,6 +300,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         budget_ratio,
         max_ii,
         node_limit,
+        pressure_limit,
         ops,
         edges,
     })
@@ -330,6 +360,9 @@ impl Request {
         }
         if let Some(n) = self.node_limit {
             s.push_str(&format!(",\"node_limit\":{n}"));
+        }
+        if let Some(p) = self.pressure_limit {
+            s.push_str(&format!(",\"pressure_limit\":{p}"));
         }
         s.push_str(",\"ops\":[");
         for (i, op) in self.ops.iter().enumerate() {
@@ -401,6 +434,8 @@ mod tests {
             (r#"{"id":"a","ops":["add"],"edges":[[0,0,1,0,"data",false]]}"#, "kind"),
             (r#"{"id":"a","budget_ratio":-1,"ops":["add"]}"#, "budget_ratio"),
             (r#"{"id":"a","max_ii":0,"ops":["add"]}"#, "max_ii"),
+            (r#"{"id":"a","pressure_limit":0,"ops":["add"]}"#, "pressure_limit"),
+            (r#"{"id":"a","pressure_limit":"big","ops":["add"]}"#, "pressure_limit"),
             ("not json", "invalid JSON"),
         ] {
             let err = parse_request(line).unwrap_err();
@@ -410,11 +445,31 @@ mod tests {
 
     #[test]
     fn machine_names_resolve() {
-        for name in ["cydra", "cydra_simple", "figure1", "minimal", "single_alu", "wide4"] {
+        for name in [
+            "cydra",
+            "cydra_simple",
+            "figure1",
+            "minimal",
+            "single_alu",
+            "wide4",
+            "cydra_rf16",
+        ] {
             assert!(machine_by_name(name).is_some(), "{name}");
         }
         assert!(machine_by_name("widex").is_none());
+        assert!(machine_by_name("cydra_rfx").is_none());
         assert!(machine_by_name("vax").is_none());
+        assert_eq!(machine_by_name("cydra_rf12").unwrap().register_file(), Some(12));
+    }
+
+    #[test]
+    fn pressure_limited_requests_round_trip() {
+        let line = r#"{"id":"pl","machine":"cydra_rf16","backend":"ims","pressure_limit":16,"ops":["load","add"],"edges":[[0,1,13,0,"flow",false]]}"#;
+        let r = parse_request(line).unwrap();
+        assert_eq!(r.pressure_limit, Some(16));
+        assert_eq!(r.machine, "cydra_rf16");
+        assert_eq!(r.to_line(), line);
+        assert_eq!(parse_request(&r.to_line()).unwrap(), r);
     }
 
     #[test]

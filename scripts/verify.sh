@@ -49,6 +49,10 @@ cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
     "$bench_dir/BENCH_corpus_t4.json" "$bench_dir/BENCH_corpus_t4.json"
 # The perf-regression gate: deterministic work must match the committed
 # baseline exactly; wall time gets generous headroom (different machines).
+# This strict-counter compare against the pre-press baseline is also the
+# zero-cost-when-disabled proof for register-pressure support: with no
+# --pressure-limit, the default path must reproduce every baseline
+# counter bit-for-bit.
 cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
     BENCH_baseline.json "$bench_dir/BENCH_corpus_t4.json" \
     --strict-counters --wall-threshold 25
@@ -110,6 +114,36 @@ cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
     "$bench_dir/BENCH_optgap_sat_t1.json" "$bench_dir/BENCH_optgap_sat_t4.json" \
     --strict-counters --no-wall
 echo "    byte-identical across thread counts; bounds agree with exact on all 240 loops"
+
+echo "==> corpus --pressure-limit: determinism, fit coverage, press.* gates"
+pl1_log=$(mktemp)
+pl4_log=$(mktemp)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$pl1_log" "$pl4_log"' EXIT
+cargo run --release --offline -q -p ims-bench --bin corpus -- \
+    --loops 120 --threads 1 --pressure-limit 16 \
+    --profile "$bench_dir/BENCH_press_t1.json" >"$pl1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-bench --bin corpus -- \
+    --loops 120 --threads 4 --pressure-limit 16 \
+    --profile "$bench_dir/BENCH_press_t4.json" >"$pl4_log" 2>/dev/null
+if ! diff -q "$pl1_log" "$pl4_log" >/dev/null; then
+    echo "FAIL: pressure-limited corpus output differs between --threads 1 and --threads 4" >&2
+    diff "$pl1_log" "$pl4_log" | head >&2
+    exit 1
+fi
+# Aggregate sanity: the verdict fields must cover the whole corpus and
+# at least some loops must fit a 16-register file.
+press_fit=$(grep -o '"press_fit":[0-9]*' "$pl1_log" | grep -o '[0-9]*$')
+press_inf=$(grep -o '"press_infeasible":[0-9]*' "$pl1_log" | grep -o '[0-9]*$')
+if [ -z "$press_fit" ] || [ "$press_fit" -lt 1 ] || [ "$((press_fit + press_inf))" -ne 120 ]; then
+    echo "FAIL: pressure verdicts wrong: fit=$press_fit infeasible=$press_inf over 120 loops" >&2
+    exit 1
+fi
+# press.* counters (maxlive updates, rejects, II bumps) are deterministic
+# work: strict across thread counts.
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_press_t1.json" "$bench_dir/BENCH_press_t4.json" \
+    --strict-counters --no-wall
+echo "    byte-identical at --threads 1 and --threads 4 ($press_fit fit, $press_inf infeasible at 16 registers)"
 
 echo "==> trace determinism across thread counts"
 tr1_dir="$bench_dir/trace_corpus_t1"
@@ -205,4 +239,4 @@ if grep -q "^warning" "$doc_log"; then
     exit 1
 fi
 
-echo "OK: build, tests, determinism, cross-prover agreement, profiling gates, service cache, portfolio racing, and docs all clean offline"
+echo "OK: build, tests, determinism, cross-prover agreement, profiling gates, pressure gates, service cache, portfolio racing, and docs all clean offline"

@@ -16,6 +16,9 @@
 //! * a second exact backend: a std-only CDCL SAT solver plus a CNF
 //!   encoding of "is there a schedule at this II?" ([`sat`]), racing the
 //!   others through the backend registry and `portfolio(...)` specs,
+//! * register-pressure-aware scheduling — an incremental MaxLive tracker
+//!   and an observer that holds schedules under a register-file capacity
+//!   ([`press`]),
 //! * post-scheduling code generation — modulo variable expansion, kernel
 //!   unrolling, prologue/epilogue ([`codegen`]),
 //! * a NUAL VLIW simulator for end-to-end validation ([`vliw`]),
@@ -64,6 +67,7 @@ pub use ims_graph as graph;
 pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
 pub use ims_machine as machine;
+pub use ims_press as press;
 pub use ims_prof as prof;
 pub use ims_sat as sat;
 pub use ims_serve as serve;

@@ -113,6 +113,85 @@ fn odd_trip_counts_cover_epilogue_edge_cases() {
 }
 
 #[test]
+fn pressure_limited_schedules_fit_their_register_file() {
+    // Tentpole e2e: on the small-register-file Cydra variants, a
+    // pressure-limited schedule must hold MaxLive under the declared
+    // capacity, its rotating allocation must fit the file, and the
+    // pipelined/rotating executions must still match sequential
+    // semantics. Kernels genuinely infeasible at the capacity must fail
+    // with the structured error, never an over-budget schedule.
+    use ims::codegen::allocate_rotating;
+    use ims::core::{ScheduleError, Scheduler};
+    use ims::machine::cydra_rf;
+    use ims::press::PressureObserver;
+
+    let mut fitted = 0usize;
+    let mut infeasible = 0usize;
+    for limit in [10u32, 14, 20] {
+        let machine = cydra_rf(limit);
+        assert_eq!(machine.register_file(), Some(limit));
+        for k in kernels(24) {
+            let body = back_substitute(&k.body, &machine);
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            let mut obs = PressureObserver::for_body(&body, &problem, limit);
+            let result = Scheduler::new(&problem)
+                .config(SchedConfig::new().budget_ratio(6.0).pressure_limit(limit))
+                .observer(&mut obs)
+                .run();
+            match result {
+                Ok(out) => {
+                    fitted += 1;
+                    validate_schedule(&problem, &out.schedule).unwrap_or_else(|v| {
+                        panic!("{} rf{limit}: illegal pressure-limited schedule: {v}", k.name)
+                    });
+                    assert!(
+                        obs.max_live() <= limit,
+                        "{} rf{limit}: MaxLive {} over the accepted limit",
+                        k.name,
+                        obs.max_live()
+                    );
+                    let lt = lifetimes(&body, &problem, &out.schedule);
+                    let alloc = allocate_rotating(&body, &lt, out.schedule.ii);
+                    assert!(
+                        alloc.size as u32 <= limit,
+                        "{} rf{limit}: rotating allocation needs {} registers",
+                        k.name,
+                        alloc.size
+                    );
+                    let image = image_for(&k, &body);
+                    let seq = run_sequential(&body, image.clone())
+                        .unwrap_or_else(|e| panic!("{} reference run failed: {e}", k.name));
+                    let pipe = run_overlapped(&body, &problem, &out.schedule, image.clone())
+                        .unwrap_or_else(|e| panic!("{} overlapped run failed: {e}", k.name));
+                    if let Some(m) = compare_results(&seq, &pipe) {
+                        panic!("{} rf{limit}: overlapped != sequential: {m:?}", k.name);
+                    }
+                    match generate_rotating(&body, &problem, &out.schedule, &lt) {
+                        Ok(rot) => {
+                            let rot_run = run_rotating(&rot, &body, &machine, image)
+                                .unwrap_or_else(|e| {
+                                    panic!("{} rotating run failed: {e}", k.name)
+                                });
+                            if let Some(m) = compare_memory(&seq.memory, &rot_run.memory) {
+                                panic!("{} rf{limit}: rotating != sequential: {m:?}", k.name);
+                            }
+                        }
+                        Err(e) => eprintln!("{} rf{limit}: rotating codegen declined: {e}", k.name),
+                    }
+                }
+                Err(ScheduleError::PressureInfeasible { limit: l, .. }) => {
+                    infeasible += 1;
+                    assert_eq!(l, limit);
+                }
+                Err(e) => panic!("{} rf{limit}: unexpected error: {e}", k.name),
+            }
+        }
+    }
+    assert!(fitted > 0, "no kernel fit any register file");
+    eprintln!("pressure e2e: {fitted} fitted, {infeasible} infeasible");
+}
+
+#[test]
 fn exact_schedules_execute_correctly() {
     // Schedules from the exact branch-and-bound backend flow through the
     // same validator and VLIW simulator as iterative ones; the pipelined

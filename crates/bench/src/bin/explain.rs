@@ -1,0 +1,295 @@
+//! Corpus-wide II attribution and budget forensics.
+//!
+//! For every corpus loop the driver answers two questions with evidence:
+//! *why is the MII what it is* (the saturated resource or the critical
+//! recurrence circuit, from `ims-explain`'s [`attribute_mii`]), and
+//! *where did the scheduling budget go* (per-attempt waste, the eviction
+//! graph, slot-search effort — mined from the scheduler's own event
+//! stream). The per-loop JSON lines, the aggregate line and the top-K
+//! pathological-loop digest are byte-identical across `--threads` values.
+//!
+//! ```text
+//! explain [--seed H] [--loops N] [--threads T] [--budget-ratio R]
+//!         [--top K] [--max-circuits C] [--trace DIR] [--from-trace DIR]
+//!         [--optgap FILE] [--profile FILE]
+//! ```
+//!
+//! Defaults: 300 loops at seed `0xC4D5` (the optgap corpus), BudgetRatio
+//! 6, top-10 digest, 10 000-circuit enumeration cap per binding SCC.
+//!
+//! Two event sources, one analyzer:
+//!
+//! * by default each loop is scheduled in-process and the observer's
+//!   event stream is mined directly — no trace files needed. The mined
+//!   totals are checked against the scheduler's deterministic
+//!   [`Counters`] (evictions, `FindTimeSlot` iterations, steps) and any
+//!   mismatch aborts with exit 1: the report is *proved* consistent with
+//!   the run it describes.
+//! * `--from-trace DIR` re-analyzes a previously written trace directory
+//!   (`loop_00042.jsonl`, …) instead of scheduling. Because the JSONL
+//!   encoding is lossless, stdout is byte-identical to the in-process
+//!   run that wrote the traces. Truncated traces are mined from their
+//!   well-formed prefix.
+//!
+//! `--trace DIR` writes the event stream out while analyzing (the files
+//! a later `--from-trace` run consumes). `--optgap FILE` joins each loop
+//! against the proved `exact_lb`/`exact_ub` bounds in an `optgap` run's
+//! saved stdout, adding the true optimality gap to the report.
+//! `--profile FILE` writes a `BENCH_explain.json` snapshot whose
+//! deterministic sections (the `explain.*` counters among them) are
+//! byte-identical across `--threads` values.
+
+use ims_bench::profile::{flush_counters, parse_profile_path, write_profile};
+use ims_bench::{parse_trace_dir, pool};
+use ims_core::{Counters, SchedConfig, Scheduler};
+use ims_deps::{back_substitute, build_problem, BuildOptions};
+use ims_explain::{attribute_mii, parse_optgap_bounds, CorpusStats, LoopReport, MiiBound, TraceMine};
+use ims_loopgen::corpus_of_size;
+use ims_machine::cydra;
+use ims_prof::{phase, MetricsRegistry, PhaseTimer};
+use ims_trace::{parse_trace_prefix, Recorder, SchedEvent};
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            if let Ok(v) = v.parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// `--NAME PATH` or `--NAME=PATH`, the way [`parse_trace_dir`] handles
+/// `--trace`.
+fn path_flag(args: &[String], name: &str) -> Option<std::path::PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().map(std::path::PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            return Some(std::path::PathBuf::from(v));
+        }
+    }
+    None
+}
+
+/// Closes a span into the registry when profiling, discards it otherwise.
+fn span_end(t: PhaseTimer, reg: &mut Option<MetricsRegistry>) {
+    match reg.as_mut() {
+        Some(r) => {
+            t.finish(r);
+        }
+        None => t.cancel(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = flag(&args, "--seed", 0xC4D5);
+    let loops: usize = flag(&args, "--loops", 300);
+    let budget_ratio: f64 = flag(&args, "--budget-ratio", 6.0);
+    let top: usize = flag(&args, "--top", 10);
+    let max_circuits: usize = flag(&args, "--max-circuits", 10_000);
+    let threads = pool::threads_or_exit(&args);
+    let trace_dir = parse_trace_dir(&args);
+    let from_trace = path_flag(&args, "--from-trace");
+    let optgap_path = path_flag(&args, "--optgap");
+    let profile_path = parse_profile_path(&args);
+
+    if trace_dir.is_some() && from_trace.is_some() {
+        eprintln!("explain: --trace writes what --from-trace reads; pick one");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("explain: cannot create trace directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let bounds = match &optgap_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => Some(parse_optgap_bounds(&text)),
+            Err(e) => {
+                eprintln!("explain: cannot read optgap output {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+
+    let corpus = corpus_of_size(seed, loops);
+    let machine = cydra();
+    let config = SchedConfig::with_budget_ratio(budget_ratio);
+    let profiling = profile_path.is_some();
+    let tracing = trace_dir.is_some();
+
+    let t0 = std::time::Instant::now();
+    let results: Vec<(LoopReport, bool, Option<String>, Option<MetricsRegistry>)> =
+        pool::par_map(&corpus.loops, threads, |index, l| {
+            let mut reg = profiling.then(MetricsRegistry::new);
+            let label = format!("loop_{index:05}");
+
+            let whole = PhaseTimer::start(phase::WALL_LOOP);
+            let t = PhaseTimer::start(phase::WALL_BUILD);
+            let body = back_substitute(&l.body, &machine);
+            let problem = build_problem(&body, &machine, &BuildOptions::default());
+            span_end(t, &mut reg);
+
+            let mut consistent = true;
+            let events: Vec<SchedEvent> = match &from_trace {
+                Some(dir) => {
+                    let text = std::fs::read_to_string(dir.join(format!("{label}.jsonl")))
+                        .unwrap_or_default();
+                    // Truncated or damaged traces contribute their
+                    // well-formed prefix, like trace_report.
+                    parse_trace_prefix(&text).0
+                }
+                None => {
+                    let t = PhaseTimer::start(phase::WALL_SCHED);
+                    let mut rec = Recorder::new();
+                    let out = Scheduler::new(&problem)
+                        .config(config.clone())
+                        .observer(&mut rec)
+                        .run()
+                        .expect("corpus loops always schedule under the automatic II cap");
+                    span_end(t, &mut reg);
+                    // Exact-match accounting: what the trace says happened
+                    // must be what the scheduler's counters say happened.
+                    let mined = TraceMine::from_events(&rec.events);
+                    consistent = mined.summary.evictions == out.stats.counters.evictions
+                        && mined.summary.slots_examined == out.stats.counters.findslot_iters
+                        && mined.summary.total_steps() == out.stats.total_steps()
+                        && mined.summary.final_ii() == Some(out.schedule.ii);
+                    if let Some(r) = reg.as_mut() {
+                        flush_counters(&out.stats.counters, r);
+                        r.add(phase::SCHED_STEPS, out.stats.total_steps());
+                    }
+                    rec.events
+                }
+            };
+
+            let mut counters = Counters::new();
+            let attribution = attribute_mii(&problem, max_circuits, &mut counters);
+            let mine = TraceMine::from_events(&events);
+            let report = LoopReport {
+                label,
+                ops: problem.num_ops(),
+                attribution,
+                mine,
+                bounds: bounds.as_ref().and_then(|b| b.get(&index).copied()),
+            };
+
+            if let Some(r) = reg.as_mut() {
+                flush_counters(&counters, r);
+                r.add(phase::CORPUS_LOOPS, 1);
+                r.add(phase::CORPUS_OPS, problem.num_ops() as u64);
+                r.add(phase::EXPLAIN_LOOPS, 1);
+                r.add(
+                    match report.attribution.bound {
+                        MiiBound::Resource => phase::EXPLAIN_BOUND_RES,
+                        MiiBound::Recurrence => phase::EXPLAIN_BOUND_REC,
+                        MiiBound::Tie => phase::EXPLAIN_BOUND_BOTH,
+                    },
+                    1,
+                );
+                if report.mii_gap().unwrap_or(0) > 0 {
+                    r.add(phase::EXPLAIN_GAP_LOOPS, 1);
+                }
+                r.add(phase::EXPLAIN_WASTED_STEPS, report.mine.summary.wasted_steps());
+                if report.attribution.rec.circuits_truncated {
+                    r.add(phase::EXPLAIN_CIRCUITS_TRUNCATED, 1);
+                }
+            }
+            span_end(whole, &mut reg);
+
+            let trace = tracing.then(|| {
+                let mut text = String::new();
+                for ev in &events {
+                    text.push_str(&ev.to_json_line());
+                    text.push('\n');
+                }
+                text
+            });
+            (report, consistent, trace, reg)
+        });
+    let elapsed = t0.elapsed();
+
+    let mut reports = Vec::with_capacity(results.len());
+    let mut total = MetricsRegistry::new();
+    for (index, (report, consistent, trace, reg)) in results.into_iter().enumerate() {
+        if !consistent {
+            eprintln!(
+                "explain: loop_{index:05}: mined totals disagree with scheduler counters \
+                 (trace/observer accounting bug)"
+            );
+            std::process::exit(1);
+        }
+        if let (Some(dir), Some(trace)) = (&trace_dir, trace) {
+            if let Err(e) = std::fs::write(dir.join(format!("loop_{index:05}.jsonl")), trace) {
+                eprintln!("explain: cannot write traces: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(reg) = reg {
+            total.merge(&reg);
+        }
+        reports.push(report);
+    }
+    if let Some(p) = &profile_path {
+        if let Err(e) = write_profile(p, "explain", &total) {
+            eprintln!("explain: cannot write profile {}: {e}", p.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut stats = CorpusStats::default();
+    let mut out = String::with_capacity(reports.len() * 200);
+    for report in &reports {
+        stats.add(report, &machine);
+        out.push_str(&report.to_json_line(&machine));
+        out.push('\n');
+    }
+    out.push_str(&stats.to_json_line(top));
+    out.push('\n');
+
+    let (top_wasted, wasted_total) = stats.concentration(top);
+    out.push_str(&format!("== top {top} loops by wasted budget ==\n"));
+    for (label, _) in stats.top_wasted(top) {
+        let report = reports
+            .iter()
+            .find(|r| r.label == label)
+            .expect("top_wasted labels come from reports");
+        out.push_str(&report.render_text(&machine));
+    }
+    print!("{out}");
+
+    let share = if wasted_total == 0 {
+        0.0
+    } else {
+        100.0 * top_wasted as f64 / wasted_total as f64
+    };
+    eprintln!(
+        "explain: {} loops ({} res / {} rec / {} tie bound, {} above MII) in {:.1} ms \
+         on {} thread{}; top-{top} loops hold {:.1}% of {} wasted steps",
+        stats.loops,
+        stats.res_bound,
+        stats.rec_bound,
+        stats.tie_bound,
+        stats.gap_loops,
+        elapsed.as_secs_f64() * 1e3,
+        threads,
+        if threads == 1 { "" } else { "s" },
+        share,
+        wasted_total,
+    );
+    if let Some(p) = &profile_path {
+        eprintln!("profile snapshot written to {}", p.display());
+    }
+}

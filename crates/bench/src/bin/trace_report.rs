@@ -10,8 +10,14 @@
 //! picture followed by the `K` (default 10) loops that wasted the most
 //! scheduling budget on failed II attempts — the loops worth staring at
 //! when tuning BudgetRatio or the priority function.
+//!
+//! Truncated or damaged traces (a killed run, a half-flushed file) are
+//! summarized from their longest well-formed prefix and flagged
+//! `(truncated)` rather than aborting the whole report; an attempt the
+//! trace ends inside is reported as unresolved (`II…`), never as a bogus
+//! success or failure.
 
-use ims_trace::{parse_trace, TraceSummary};
+use ims_trace::{parse_trace_prefix, TraceSummary};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -37,15 +43,21 @@ fn main() {
     entries.sort();
 
     let mut summaries = Vec::with_capacity(entries.len());
+    let mut truncated = 0usize;
     for path in &entries {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("trace_report: cannot read {}: {e}", path.display());
             std::process::exit(1);
         });
-        let Some(events) = parse_trace(&text) else {
-            eprintln!("trace_report: malformed trace {}", path.display());
-            std::process::exit(1);
-        };
+        let (events, complete) = parse_trace_prefix(&text);
+        if !complete {
+            truncated += 1;
+            eprintln!(
+                "trace_report: truncated trace {} ({} events recovered)",
+                path.display(),
+                events.len()
+            );
+        }
         let label = path
             .file_stem()
             .and_then(|s| s.to_str())
@@ -81,6 +93,9 @@ fn main() {
          {:.1}%), {evictions} evictions, {slots} slots examined",
         100.0 * wasted_steps as f64 / total_steps.max(1) as f64
     );
+    if truncated > 0 {
+        println!("  {truncated} truncated trace(s) summarized from their well-formed prefix");
+    }
 
     summaries.sort_by(|a, b| {
         b.1.wasted_steps()

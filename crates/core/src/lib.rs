@@ -88,7 +88,7 @@ pub use registry::{
 pub use spec::{BackendSpec, ParseBackendError};
 pub use counters::Counters;
 pub use list_sched::{list_schedule, ListSchedule};
-pub use mii::{compute_mii, rec_mii, rec_mii_by_circuits, res_mii, MiiInfo};
+pub use mii::{compute_mii, rec_mii, rec_mii_by_circuits, res_mii, res_mii_with_usage, MiiInfo};
 pub use mrt::Mrt;
 pub use observe::{NullObserver, SchedObserver};
 pub use priority::{height_r, priorities, PriorityKind};

@@ -30,6 +30,16 @@ pub struct MiiInfo {
 /// at that point"*. The final usage count of the most heavily used resource
 /// is the ResMII (never below 1).
 pub fn res_mii(problem: &Problem<'_>, counters: &mut Counters) -> i64 {
+    res_mii_with_usage(problem, counters).0
+}
+
+/// [`res_mii`] with provenance: also returns the final per-resource usage
+/// vector of the greedy bin-packing (indexed by
+/// [`ResourceId::index`](ims_machine::ResourceId)). The ResMII equals the
+/// maximum entry (clamped to 1), so `usage[r] == res_mii` identifies the
+/// *binding* resource(s) — the saturated resource class `ims-explain`
+/// names when attributing a resource-bound MII.
+pub fn res_mii_with_usage(problem: &Problem<'_>, counters: &mut Counters) -> (i64, Vec<u64>) {
     let machine = problem.machine();
     let mut nodes: Vec<NodeId> = problem.op_nodes().collect();
     // Radix-style stable sort by number of alternatives (degrees of
@@ -82,7 +92,7 @@ pub fn res_mii(problem: &Problem<'_>, counters: &mut Counters) -> i64 {
             }
         }
     }
-    cur_peak.max(1) as i64
+    (cur_peak.max(1) as i64, usage)
 }
 
 /// Whether an SCC can constrain the II: it is non-trivial, or its single
@@ -270,6 +280,36 @@ mod tests {
         // adds have two ALUs (ResMII 3) but only 4 fields per cycle.
         let p = straight_line(&m, &[Opcode::AddrAdd; 8]);
         assert_eq!(res_mii(&p, &mut c), 4, "two ALUs bound 8 addr-adds");
+    }
+
+    #[test]
+    fn res_mii_usage_names_the_binding_resource() {
+        // Five adds on cydra: the adder pipeline saturates at usage 5,
+        // and the usage vector singles out exactly the adder resources.
+        let m = cydra();
+        let p = straight_line(&m, &[Opcode::Add; 5]);
+        let mut c = Counters::new();
+        let (res, usage) = res_mii_with_usage(&p, &mut c);
+        assert_eq!(res, 5);
+        assert_eq!(res_mii(&p, &mut c), 5, "the two entry points agree");
+        assert_eq!(usage.len(), m.num_resources());
+        assert_eq!(usage.iter().copied().max(), Some(5));
+        let binding: Vec<&str> = usage
+            .iter()
+            .enumerate()
+            .filter(|&(_, &u)| u == 5)
+            .map(|(i, _)| m.resources()[i].name.as_str())
+            .collect();
+        // The adder pipeline saturates (the greedy's tie-breaking also
+        // packs all five ops into instr_field0, which saturates with it).
+        assert!(
+            binding.iter().any(|n| n.starts_with("add_")),
+            "adder resources saturate: {binding:?}"
+        );
+        assert!(
+            binding.iter().all(|n| n.starts_with("add_") || n.starts_with("instr_field")),
+            "nothing else saturates: {binding:?}"
+        );
     }
 
     #[test]

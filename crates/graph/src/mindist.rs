@@ -76,6 +76,22 @@ impl MinDist {
     pub fn tight(&self) -> bool {
         self.max_diagonal() == 0
     }
+
+    /// The nodes whose diagonal entry achieves [`max_diagonal`]
+    /// (`MinDist[i, i] == max_diagonal`), in row order. At a tight II these
+    /// are exactly the nodes on a critical recurrence circuit — the set
+    /// RecMII attribution names when full circuit enumeration is
+    /// truncated. Empty for an empty subset.
+    ///
+    /// [`max_diagonal`]: MinDist::max_diagonal
+    pub fn critical_nodes(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let max = self.max_diagonal();
+        (0..n)
+            .filter(|&i| self.d[i * n + i] == max)
+            .map(|i| self.nodes[i])
+            .collect()
+    }
 }
 
 /// A reusable MinDist computation over a fixed node subset.
@@ -281,6 +297,23 @@ mod tests {
         let md = compute_min_dist(&g, &nodes, 3, &mut w);
         assert!(md.feasible());
         assert!(md.tight());
+        assert_eq!(md.critical_nodes(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn critical_nodes_name_only_the_binding_cycle() {
+        // Two disjoint cycles in one subset: delay 6 and delay 4, both
+        // distance 2. At II 3 the first is tight, the second has slack.
+        let mut g = DepGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 3, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(1), NodeId(0), 3, 2, DepKind::Flow, false);
+        g.add_edge(NodeId(2), NodeId(3), 2, 0, DepKind::Flow, false);
+        g.add_edge(NodeId(3), NodeId(2), 2, 2, DepKind::Flow, false);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut w = 0;
+        let md = compute_min_dist(&g, &nodes, 3, &mut w);
+        assert!(md.tight());
+        assert_eq!(md.critical_nodes(), vec![NodeId(0), NodeId(1)]);
     }
 
     #[test]

@@ -159,6 +159,24 @@ pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
 /// contained worker panics).
 pub const SERVE_FAILED: &str = "serve.requests.failed";
 
+// ---- II-attribution diagnostics (ims-explain) ----
+/// Loops explained (MII attributed, trace mined when available).
+pub const EXPLAIN_LOOPS: &str = "explain.loops";
+/// Loops whose MII is purely resource-bound (ResMII > RecMII).
+pub const EXPLAIN_BOUND_RES: &str = "explain.bound.res";
+/// Loops whose MII is purely recurrence-bound (RecMII > ResMII).
+pub const EXPLAIN_BOUND_REC: &str = "explain.bound.rec";
+/// Loops where both bounds tie (ResMII == RecMII == MII).
+pub const EXPLAIN_BOUND_BOTH: &str = "explain.bound.both";
+/// Loops that converged strictly above their MII (an attributable gap).
+pub const EXPLAIN_GAP_LOOPS: &str = "explain.gap.loops";
+/// Scheduling steps spent on failed II attempts, summed over explained
+/// loops (the "wasted budget" the concentration report ranks by).
+pub const EXPLAIN_WASTED_STEPS: &str = "explain.wasted.steps";
+/// Recurrence-bound loops whose circuit enumeration hit its cap, falling
+/// back to the MinDist critical-node set for attribution.
+pub const EXPLAIN_CIRCUITS_TRUNCATED: &str = "explain.circuits.truncated";
+
 // ---- deterministic distributions ----
 /// Slots examined per `FindTimeSlot` call (per real operation placement).
 pub const HIST_SLOT_SEARCH: &str = "sched.slot_search.iters";
@@ -233,6 +251,13 @@ pub const REGISTRY: &[PhaseDesc] = &[
     PhaseDesc { name: SERVE_FAILED, kind: PhaseKind::Counter, what: "ok:false responses (parse/schedule/panic failures)" },
     PhaseDesc { name: CORPUS_LOOPS, kind: PhaseKind::Counter, what: "corpus loops measured" },
     PhaseDesc { name: CORPUS_OPS, kind: PhaseKind::Counter, what: "real operations across measured loops" },
+    PhaseDesc { name: EXPLAIN_LOOPS, kind: PhaseKind::Counter, what: "loops explained (MII attributed, trace mined)" },
+    PhaseDesc { name: EXPLAIN_BOUND_RES, kind: PhaseKind::Counter, what: "loops purely resource-bound (ResMII > RecMII)" },
+    PhaseDesc { name: EXPLAIN_BOUND_REC, kind: PhaseKind::Counter, what: "loops purely recurrence-bound (RecMII > ResMII)" },
+    PhaseDesc { name: EXPLAIN_BOUND_BOTH, kind: PhaseKind::Counter, what: "loops where ResMII and RecMII tie" },
+    PhaseDesc { name: EXPLAIN_GAP_LOOPS, kind: PhaseKind::Counter, what: "loops converging strictly above their MII" },
+    PhaseDesc { name: EXPLAIN_WASTED_STEPS, kind: PhaseKind::Counter, what: "steps spent on failed II attempts (explained loops)" },
+    PhaseDesc { name: EXPLAIN_CIRCUITS_TRUNCATED, kind: PhaseKind::Counter, what: "circuit enumerations truncated (MinDist fallback)" },
     PhaseDesc { name: HIST_SLOT_SEARCH, kind: PhaseKind::Hist, what: "slots examined per FindTimeSlot call" },
     PhaseDesc { name: HIST_ESTART_PREDS, kind: PhaseKind::Hist, what: "predecessors examined per Estart computation" },
     PhaseDesc { name: WALL_BUILD, kind: PhaseKind::Wall, what: "back-substitution + graph construction" },

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! scheduled [--threads N] [--batch N] [--requests FILE] [--profile FILE]
-//!           [--socket PATH [--conns N]]
+//!           [--latency] [--socket PATH [--conns N]]
 //! scheduled --gen-requests N [--seed S] [--backend SPEC]
 //! scheduled --dedup FILE
 //! ```
@@ -19,6 +19,11 @@
 //!   one shared cache; `--conns N` exits after N connections (for tests).
 //! * `--profile FILE`: write a `BENCH_*`-style snapshot with the
 //!   `serve.*` counters on exit.
+//! * `--latency`: collect per-backend scheduling-latency histograms,
+//!   reported on `{"id":…,"stats":true}` probe responses. Off by
+//!   default because wall-clock figures are non-deterministic; the rest
+//!   of a stats response (request/hit/miss/failure/entry tallies over
+//!   the strictly-preceding lines) is deterministic and always on.
 //! * `--gen-requests N --seed S --backend SPEC`: print N request lines
 //!   generated from the seeded benchmark corpus, routed to SPEC (`ims`,
 //!   `exact`, `sat`, or `portfolio(a,b,...)`; default `ims`), then exit.
@@ -35,7 +40,7 @@ use ims_serve::{dedup_keys, gen_requests_backend, pool, serve_stream, Engine};
 fn usage() -> ! {
     eprintln!(
         "usage: scheduled [--threads N] [--batch N] [--requests FILE] [--profile FILE]\n\
-         \x20                [--socket PATH [--conns N]]\n\
+         \x20                [--latency] [--socket PATH [--conns N]]\n\
          \x20      scheduled --gen-requests N [--seed S] [--backend SPEC]\n\
          \x20      scheduled --dedup FILE"
     );
@@ -103,6 +108,9 @@ fn main() -> io::Result<()> {
     let batch = flag::<usize>(&args, "--batch").unwrap_or(256);
     let profile = flag::<String>(&args, "--profile");
     let mut engine = Engine::new(threads);
+    if args.iter().any(|a| a == "--latency") {
+        engine.enable_latency();
+    }
 
     if let Some(socket_path) = flag::<String>(&args, "--socket") {
         #[cfg(unix)]

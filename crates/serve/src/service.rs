@@ -21,19 +21,31 @@
 //! identical for any `--threads N`, any batch size, and cache hot or
 //! cold — the repo-wide determinism contract extended to the service
 //! (`DESIGN.md` §5e).
+//!
+//! A `{"id":…,"stats":true}` line anywhere in the stream is answered
+//! in-line with the engine's tallies over the lines that *strictly
+//! precede* it (stage 3 runs in input order, so the snapshot is
+//! deterministic even though the preceding lines were scheduled in
+//! parallel). With [`Engine::enable_latency`] the stats response also
+//! carries per-backend wall-clock histograms of cache-miss scheduling
+//! time — explicitly opt-in and explicitly *non*-deterministic, which
+//! is why it is off by default and excluded from every determinism
+//! gate.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 use ims_core::{BackendKind, BackendParams, BackendSpec, ProblemBuilder, SchedConfig, Scheduler};
 use ims_press::PressureObserver;
 use ims_prof::{phase, MetricsRegistry};
 use ims_sat::default_registry;
+use ims_stats::Histogram;
 
 use crate::cache::{key_request, CanonProblem, Entry, Keyed, ScheduleCache};
 use crate::json;
 use crate::pool;
-use crate::wire::{machine_by_name, parse_request, Request};
+use crate::wire::{machine_by_name, parse_request, parse_stats_request, Request};
 
 /// Everything a worker needs to schedule one cache miss. Derived from the
 /// first request that missed on the key; every field below is part of the
@@ -181,6 +193,14 @@ fn render_response(req: &Request, keyed: &Keyed, entry: &Entry) -> String {
     }
 }
 
+/// One input line after stage 1: a schedulable request, a stats probe,
+/// or a pre-rendered error response.
+enum Parsed {
+    Request(Request, Keyed),
+    Stats(String),
+    Invalid(String),
+}
+
 /// The long-lived service state: cache plus response tallies.
 #[derive(Debug)]
 pub struct Engine {
@@ -188,11 +208,17 @@ pub struct Engine {
     pub cache: ScheduleCache,
     threads: usize,
     /// Total requests answered (every input line gets exactly one
-    /// response line).
+    /// response line; stats probes count too).
     pub requests: u64,
     /// Responses with `ok:false` — parse rejections, clean scheduling
     /// errors, and contained worker panics alike.
     pub failed: u64,
+    /// Per-backend wall-clock histograms (nanoseconds per cache-miss
+    /// scheduling job), keyed by canonical backend spec. `None` unless
+    /// [`Engine::enable_latency`] was called: timing is inherently
+    /// non-deterministic, so it is opt-in and never part of the
+    /// byte-determinism contract.
+    latency: Option<BTreeMap<String, Histogram>>,
 }
 
 impl Engine {
@@ -203,7 +229,58 @@ impl Engine {
             threads,
             requests: 0,
             failed: 0,
+            latency: None,
         }
+    }
+
+    /// Starts collecting per-backend scheduling-latency histograms,
+    /// reported on stats responses. Non-deterministic by nature — keep
+    /// it off anywhere response bytes are diffed.
+    pub fn enable_latency(&mut self) {
+        self.latency = Some(BTreeMap::new());
+    }
+
+    /// The recorded latency histogram for a canonical backend spec, if
+    /// collection is on and that backend scheduled at least one miss.
+    pub fn latency_of(&self, backend: &str) -> Option<&Histogram> {
+        self.latency.as_ref()?.get(backend)
+    }
+
+    /// Renders the stats response for one probe: tallies over every line
+    /// answered so far (within a batch, the strictly-preceding lines),
+    /// plus latency percentiles when collection is on. `entries` is
+    /// passed in because mid-batch the store already holds the whole
+    /// batch's jobs; the caller knows how many belong to preceding lines.
+    fn render_stats(&self, id: &str, entries: usize) -> String {
+        let mut s = format!(
+            "{{\"id\":\"{}\",\"ok\":true,\"stats\":{{\"requests\":{},\"hits\":{},\"misses\":{},\"failed\":{},\"entries\":{}",
+            json::escape(id),
+            self.requests,
+            self.cache.hits,
+            self.cache.misses,
+            self.failed,
+            entries
+        );
+        if let Some(lat) = &self.latency {
+            s.push_str(",\"latency\":{");
+            for (i, (backend, h)) in lat.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                    json::escape(backend),
+                    h.total(),
+                    h.p50().unwrap_or(0),
+                    h.p90().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                    h.max().unwrap_or(0),
+                ));
+            }
+            s.push('}');
+        }
+        s.push_str("}}");
+        s
     }
 
     /// Processes one batch of request lines, writing one response line
@@ -214,16 +291,25 @@ impl Engine {
     /// Only I/O errors from `out`; malformed requests become error
     /// responses, not process errors.
     pub fn process_batch(&mut self, lines: &[String], out: &mut impl Write) -> io::Result<()> {
-        // Stage 1: parse + canonicalize.
-        let parsed: Vec<Result<(Request, Keyed), String>> = lines
+        // Stage 1: parse + canonicalize. Stats probes are recognized
+        // first — they carry no problem and are never hashed.
+        let parsed: Vec<Parsed> = lines
             .iter()
             .map(|line| {
-                parse_request(line)
-                    .map(|req| {
+                if let Some(id) = parse_stats_request(line) {
+                    return Parsed::Stats(id);
+                }
+                match parse_request(line) {
+                    Ok(req) => {
                         let keyed = key_request(&req);
-                        (req, keyed)
-                    })
-                    .map_err(|e| render_error(&recover_id(line), None, &format!("invalid request: {e}")))
+                        Parsed::Request(req, keyed)
+                    }
+                    Err(e) => Parsed::Invalid(render_error(
+                        &recover_id(line),
+                        None,
+                        &format!("invalid request: {e}"),
+                    )),
+                }
             })
             .collect();
 
@@ -231,7 +317,8 @@ impl Engine {
         // order, in parallel.
         let mut jobs: Vec<Job> = Vec::new();
         let mut queued: HashSet<u128> = HashSet::new();
-        for (req, keyed) in parsed.iter().flatten() {
+        for item in &parsed {
+            let Parsed::Request(req, keyed) = item else { continue };
             if self.cache.get(keyed.key).is_none() && queued.insert(keyed.key) {
                 jobs.push(Job {
                     key: keyed.key,
@@ -245,11 +332,22 @@ impl Engine {
                 });
             }
         }
-        let results = pool::try_par_map(&jobs, self.threads, |_, job| run_job(job));
+        let results = pool::try_par_map(&jobs, self.threads, |_, job| {
+            let t0 = Instant::now();
+            let entry = run_job(job);
+            (entry, t0.elapsed().as_nanos() as i64)
+        });
         let fresh: HashSet<u128> = jobs.iter().map(|j| j.key).collect();
         for (job, result) in jobs.iter().zip(results) {
             let entry = match result {
-                Ok(entry) => entry,
+                Ok((entry, wall_ns)) => {
+                    // Latency is folded in serially, keyed by canonical
+                    // backend spec; it feeds only opt-in stats output.
+                    if let Some(lat) = self.latency.as_mut() {
+                        lat.entry(job.backend.to_string()).or_default().add(wall_ns);
+                    }
+                    entry
+                }
                 Err(p) => Entry::Failed {
                     error: format!("schedule worker panicked: {}", p.message),
                 },
@@ -257,16 +355,29 @@ impl Engine {
             self.cache.insert(job.key, entry);
         }
 
-        // Stage 3: respond in input order, tallying hits and misses.
+        // Stage 3: respond in input order, tallying hits and misses. A
+        // stats probe is rendered *before* it is counted, so it reports
+        // exactly the strictly-preceding lines — the scheduling of later
+        // lines in stage 2 never leaks into the snapshot because the
+        // cache tallies are also only advanced here, in input order.
+        // Same for the entry count: stage 2 already inserted the whole
+        // batch, so a probe's `entries` is the pre-batch store size plus
+        // the fresh keys owed to preceding lines.
+        let prior_entries = self.cache.len() - jobs.len();
         let mut counted: HashSet<u128> = HashSet::new();
         for item in &parsed {
-            self.requests += 1;
             match item {
-                Err(line) => {
+                Parsed::Stats(id) => {
+                    writeln!(out, "{}", self.render_stats(id, prior_entries + counted.len()))?;
+                    self.requests += 1;
+                }
+                Parsed::Invalid(line) => {
+                    self.requests += 1;
                     self.failed += 1;
                     writeln!(out, "{line}")?;
                 }
-                Ok((req, keyed)) => {
+                Parsed::Request(req, keyed) => {
+                    self.requests += 1;
                     if fresh.contains(&keyed.key) && counted.insert(keyed.key) {
                         self.cache.misses += 1;
                     } else {
@@ -611,6 +722,75 @@ mod tests {
         assert_eq!(engine.requests, 3);
         assert_eq!(engine.cache.misses, 1);
         assert_eq!(engine.cache.hits, 2);
+    }
+
+    const STATS: &str = r#"{"id":"s","stats":true}"#;
+
+    #[test]
+    fn stats_probes_report_strictly_preceding_lines() {
+        let mut engine = Engine::new(2);
+        let out = respond(&mut engine, &[STATS, CHAIN, STATS, CHAIN, "garbage", STATS]);
+        assert_eq!(
+            out[0],
+            r#"{"id":"s","ok":true,"stats":{"requests":0,"hits":0,"misses":0,"failed":0,"entries":0}}"#
+        );
+        assert_eq!(
+            out[2],
+            r#"{"id":"s","ok":true,"stats":{"requests":2,"hits":0,"misses":1,"failed":0,"entries":1}}"#
+        );
+        assert_eq!(
+            out[5],
+            r#"{"id":"s","ok":true,"stats":{"requests":5,"hits":1,"misses":1,"failed":1,"entries":1}}"#
+        );
+        assert_eq!(engine.requests, 6, "stats probes count as requests after rendering");
+        // A probe in a later batch sees the accumulated totals.
+        let next = respond(&mut engine, &[STATS]);
+        assert_eq!(
+            next[0],
+            r#"{"id":"s","ok":true,"stats":{"requests":6,"hits":1,"misses":1,"failed":1,"entries":1}}"#
+        );
+    }
+
+    #[test]
+    fn stats_probes_are_deterministic_across_threads_and_splits() {
+        let lines: Vec<String> = [STATS, CHAIN, STATS, CHAIN_PERM, STATS, CHAIN, STATS]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let run = |threads: usize, split: usize| -> String {
+            let mut engine = Engine::new(threads);
+            let mut out = Vec::new();
+            for chunk in lines.chunks(split) {
+                engine.process_batch(chunk, &mut out).unwrap();
+            }
+            String::from_utf8(out).unwrap()
+        };
+        let baseline = run(1, lines.len());
+        for (threads, split) in [(4, 7), (4, 2), (2, 1), (8, 3)] {
+            assert_eq!(run(threads, split), baseline, "threads={threads} split={split}");
+        }
+    }
+
+    #[test]
+    fn latency_histograms_are_opt_in_and_per_backend() {
+        let mut engine = Engine::new(1);
+        engine.enable_latency();
+        let out = respond(&mut engine, &[CHAIN, STATS]);
+        assert!(
+            out[1].contains("\"latency\":{\"ims\":{\"count\":1,\"p50_ns\":"),
+            "{}",
+            out[1]
+        );
+        let h = engine.latency_of("ims").expect("one miss recorded");
+        assert_eq!(h.total(), 1);
+        assert!(engine.latency_of("exact").is_none());
+        // Cache hits schedule nothing, so they record nothing.
+        let again = respond(&mut engine, &[CHAIN, STATS]);
+        assert!(again[1].contains("\"count\":1,"), "{}", again[1]);
+        // Without the opt-in the stats response has no latency key.
+        let mut plain = Engine::new(1);
+        let o = respond(&mut plain, &[CHAIN, STATS]);
+        assert!(!o[1].contains("latency"), "{}", o[1]);
     }
 
     #[test]

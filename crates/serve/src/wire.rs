@@ -40,6 +40,13 @@
 //! cache-hit marker: a hit and a recomputation are byte-identical by
 //! design (the cache-determinism contract, `DESIGN.md` §5e); hit/miss
 //! tallies go to the profiler registry and stderr instead.
+//!
+//! A **stats request** is `{"id":"…","stats":true}` ([`parse_stats_request`]).
+//! It is answered in-line with the engine's running tallies over every
+//! line that *strictly precedes* it in the stream — deterministic by
+//! construction, so clients can interleave stats probes with work
+//! without breaking the byte-identity contract. See
+//! [`Engine`](crate::service::Engine).
 
 use ims_core::BackendSpec;
 use ims_graph::{DepGraph, DepKind};
@@ -152,6 +159,23 @@ fn kind_by_name(s: &str) -> Option<DepKind> {
         "control" => Some(DepKind::Control),
         _ => None,
     }
+}
+
+/// Detects a statistics request — `{"id":"…","stats":true}` — and
+/// returns its `id`.
+///
+/// A line whose `stats` field is boolean `true` and whose `id` is a
+/// string is a stats request regardless of any other fields present;
+/// anything else (including `"stats":false` or a missing `id`) returns
+/// `None` and flows through [`parse_request`] as usual. Stats requests
+/// never touch the cache and are never hashed.
+pub fn parse_stats_request(line: &str) -> Option<String> {
+    let v = json::parse(line).ok()?;
+    let obj = v.as_obj()?;
+    if obj.get("stats").and_then(Value::as_bool) != Some(true) {
+        return None;
+    }
+    obj.get("id").and_then(Value::as_str).map(str::to_string)
 }
 
 /// Parses and validates one request line.
@@ -440,6 +464,25 @@ mod tests {
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn stats_requests_are_detected() {
+        assert_eq!(parse_stats_request(r#"{"id":"s1","stats":true}"#).as_deref(), Some("s1"));
+        // `stats` wins over any scheduling fields riding along.
+        assert_eq!(
+            parse_stats_request(r#"{"id":"s2","stats":true,"ops":["add"]}"#).as_deref(),
+            Some("s2")
+        );
+        for line in [
+            r#"{"id":"a","stats":false}"#,
+            r#"{"id":"a","stats":1}"#,
+            r#"{"stats":true}"#,
+            r#"{"id":"a","ops":["add"]}"#,
+            "not json",
+        ] {
+            assert!(parse_stats_request(line).is_none(), "{line}");
         }
     }
 

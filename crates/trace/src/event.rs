@@ -181,14 +181,30 @@ impl SchedEvent {
 /// Parses every line of a trace, skipping lines that are not events
 /// (blank lines); returns `None` if any non-blank line fails to parse.
 pub fn parse_trace(text: &str) -> Option<Vec<SchedEvent>> {
+    let (events, complete) = parse_trace_prefix(text);
+    complete.then_some(events)
+}
+
+/// Lenient trace parsing for truncated or damaged traces (a crashed or
+/// killed run, a partially flushed file): parses the longest well-formed
+/// prefix and stops at the first malformed non-blank line. The boolean is
+/// `true` when the whole trace parsed (equivalent to [`parse_trace`]
+/// succeeding), `false` when the returned events are a proper prefix.
+///
+/// A line truncated mid-object (the common tail of a killed writer) is
+/// malformed, so the prefix never contains a half-written event.
+pub fn parse_trace_prefix(text: &str) -> (Vec<SchedEvent>, bool) {
     let mut events = Vec::new();
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
-        events.push(SchedEvent::parse(line)?);
+        match SchedEvent::parse(line) {
+            Some(ev) => events.push(ev),
+            None => return (events, false),
+        }
     }
-    Some(events)
+    (events, true)
 }
 
 /// The raw text of `key`'s value in a single-level JSON object line.
@@ -306,5 +322,27 @@ mod tests {
         let events = parse_trace(text).unwrap();
         assert_eq!(events.len(), 2);
         assert_eq!(parse_trace("not json\n"), None);
+    }
+
+    #[test]
+    fn parse_trace_prefix_recovers_the_wellformed_prefix() {
+        let good = "{\"ev\":\"attempt_start\",\"ii\":2,\"budget\":4}\n\
+                    {\"ev\":\"attempt_done\",\"ii\":2,\"ok\":true}\n";
+        let (events, complete) = parse_trace_prefix(good);
+        assert_eq!(events.len(), 2);
+        assert!(complete);
+
+        // A writer killed mid-line leaves a truncated object; everything
+        // before it survives, the tail is dropped.
+        let truncated = format!("{good}{{\"ev\":\"attempt_start\",\"ii\":3,\"bud");
+        let (events, complete) = parse_trace_prefix(&truncated);
+        assert_eq!(events.len(), 2);
+        assert!(!complete);
+        assert_eq!(parse_trace(&truncated), None, "strict parsing still rejects");
+
+        // Garbage from the first line: empty prefix, not a panic.
+        let (events, complete) = parse_trace_prefix("not json\n");
+        assert!(events.is_empty());
+        assert!(!complete);
     }
 }

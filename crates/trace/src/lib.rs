@@ -50,7 +50,7 @@ mod observers;
 mod replay;
 mod report;
 
-pub use event::{parse_trace, SchedEvent};
+pub use event::{parse_trace, parse_trace_prefix, SchedEvent};
 pub use metrics::MetricsObserver;
 pub use observers::{Recorder, TraceWriter};
 pub use replay::{replay, ReplayedSchedule};

@@ -163,12 +163,52 @@ cargo run --release --offline -q -p ims-bench --bin trace_report -- \
     "$tr1_dir" --top 3 >/dev/null
 echo "    trace_report renders the trace directory"
 
+echo "==> explain: II attribution determinism + exact-match accounting"
+ex1_log=$(mktemp)
+ex4_log=$(mktemp)
+exr_log=$(mktemp)
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$ex1_log" "$ex4_log" "$exr_log"' EXIT
+ex_traces="$bench_dir/explain_traces"
+# The driver itself asserts, per loop, that mined trace totals equal the
+# scheduler's counters (exit 1 otherwise), so a clean run IS the
+# accounting gate. --trace also writes every event stream for the replay
+# leg below.
+cargo run --release --offline -q -p ims-bench --bin explain -- \
+    --threads 1 --trace "$ex_traces" \
+    --profile "$bench_dir/BENCH_explain_t1.json" >"$ex1_log" 2>/dev/null
+cargo run --release --offline -q -p ims-bench --bin explain -- \
+    --threads 4 \
+    --profile "$bench_dir/BENCH_explain_t4.json" >"$ex4_log" 2>/dev/null
+if ! diff -q "$ex1_log" "$ex4_log" >/dev/null; then
+    echo "FAIL: explain output differs between --threads 1 and --threads 4" >&2
+    diff "$ex1_log" "$ex4_log" | head >&2
+    exit 1
+fi
+# Re-analyzing the written traces must reproduce the in-process bytes:
+# the JSONL trace encoding is lossless and the analyzer is one code path.
+cargo run --release --offline -q -p ims-bench --bin explain -- \
+    --threads 4 --from-trace "$ex_traces" >"$exr_log" 2>/dev/null
+if ! diff -q "$ex1_log" "$exr_log" >/dev/null; then
+    echo "FAIL: --from-trace analysis differs from the in-process run" >&2
+    diff "$ex1_log" "$exr_log" | head >&2
+    exit 1
+fi
+# explain.* counters (bound tallies, gap loops, wasted steps) are
+# deterministic work: strict across thread counts.
+cargo run --release --offline -q -p ims-bench --bin benchdiff -- \
+    "$bench_dir/BENCH_explain_t1.json" "$bench_dir/BENCH_explain_t4.json" \
+    --strict-counters --no-wall
+# Leave the top-K digest under target/bench/ for CI upload.
+cp "$ex1_log" "$bench_dir/explain_report.txt"
+n_exp=$(grep -c '"loop":"' "$ex1_log")
+echo "    $n_exp loops attributed; bytes identical across thread counts and via --from-trace replay"
+
 echo "==> scheduled service: replay + cache determinism across thread counts"
 reqs="$bench_dir/serve_requests.jsonl"
 doubled="$bench_dir/serve_requests_x2.jsonl"
 sv1_log=$(mktemp)
 sv4_log=$(mktemp)
-trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$sv1_log" "$sv4_log"' EXIT
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$ex1_log" "$ex4_log" "$exr_log" "$sv1_log" "$sv4_log"' EXIT
 cargo run --release --offline -q -p ims-serve --bin scheduled -- \
     --gen-requests 40 --seed 7 >"$reqs"
 cat "$reqs" "$reqs" >"$doubled"
@@ -209,7 +249,7 @@ preqs="$bench_dir/serve_portfolio.jsonl"
 pdoubled="$bench_dir/serve_portfolio_x2.jsonl"
 pf1_log=$(mktemp)
 pf4_log=$(mktemp)
-trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$sv1_log" "$sv4_log" "$pf1_log" "$pf4_log"' EXIT
+trap 'rm -f "$t1_log" "$t4_log" "$doc_log" "$og1_log" "$og4_log" "$sat1_log" "$sat4_log" "$ex1_log" "$ex4_log" "$exr_log" "$sv1_log" "$sv4_log" "$pf1_log" "$pf4_log"' EXIT
 cargo run --release --offline -q -p ims-serve --bin scheduled -- \
     --gen-requests 30 --seed 11 --backend "portfolio(ims,exact)" >"$preqs"
 cat "$preqs" "$preqs" >"$pdoubled"
@@ -239,4 +279,4 @@ if grep -q "^warning" "$doc_log"; then
     exit 1
 fi
 
-echo "OK: build, tests, determinism, cross-prover agreement, profiling gates, pressure gates, service cache, portfolio racing, and docs all clean offline"
+echo "OK: build, tests, determinism, cross-prover agreement, profiling gates, pressure gates, II attribution, service cache, portfolio racing, and docs all clean offline"

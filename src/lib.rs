@@ -28,6 +28,9 @@
 //!   spans, `BENCH_*.json` snapshots and their diff engine ([`prof`]),
 //! * event-level scheduler observability — JSON-lines traces, replay,
 //!   convergence reports ([`mod@trace`]),
+//! * II-attribution and trace-mining diagnostics — *which* resource or
+//!   circuit pins the MII, where evicted ops and wasted budget concentrate
+//!   ([`explain`]),
 //! * the corpus measurement harness with its parallel scheduling driver
 //!   ([`mod@bench`]), and
 //! * a scheduler-as-a-service daemon — JSONL wire format, deterministic
@@ -63,6 +66,7 @@ pub use ims_codegen as codegen;
 pub use ims_core as core;
 pub use ims_deps as deps;
 pub use ims_exact as exact;
+pub use ims_explain as explain;
 pub use ims_graph as graph;
 pub use ims_ir as ir;
 pub use ims_loopgen as loopgen;
